@@ -1,0 +1,45 @@
+# Reproduction of "Policies for Swapping MPI Processes" (HPDC 2003).
+# Standard library only; every target is plain `go` tooling.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures ablations extensions check fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mpi/ ./internal/swaprt/ ./internal/apps/ ./internal/experiment/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure / ablation / extension into results/ as CSV.
+figures:
+	$(GO) run ./cmd/swapexp -fig all -out results -format csv
+
+ablations:
+	$(GO) run ./cmd/swapexp -fig ablations -out results -format csv
+
+extensions:
+	$(GO) run ./cmd/swapexp -fig extensions -out results -format csv
+
+# Verify the paper's claims against freshly generated figures.
+check:
+	$(GO) run ./cmd/swapexp -check
+
+fuzz:
+	$(GO) test -fuzz FuzzParseTraceCSV -fuzztime 30s ./internal/loadgen/
+	$(GO) test -fuzz FuzzUnpackParts -fuzztime 30s ./internal/mpi/
+	$(GO) test -fuzz FuzzUnpackFloats -fuzztime 30s ./internal/mpi/
+
+clean:
+	rm -rf results/*.csv results/*.txt results/*.json

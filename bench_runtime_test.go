@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/strategy"
+	"repro/internal/swaprt"
+)
+
+// Benchmarks of the live-runtime stack and the application kernels.
+
+// BenchmarkLiveSwapRoundTrip measures a complete forced swap: decision,
+// state transfer of ~64 KiB, and communicator rebuild, by running a
+// 2-rank world that swaps on every iteration (rates flip each probe).
+func BenchmarkLiveSwapRoundTrip(b *testing.B) {
+	var mu sync.Mutex
+	flip := false
+	probe := func(rank int) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if (rank == 0) == flip {
+			return 100
+		}
+		return 1000
+	}
+	clk := 0.0
+	clock := func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		clk += 0.05
+		return clk
+	}
+	world := mpi.NewWorld(2)
+	b.ResetTimer()
+	err := swaprt.Run(world, swaprt.Config{
+		Active: 1,
+		Policy: core.Greedy(),
+		Probe:  probe,
+		Clock:  clock,
+	}, func(s *swaprt.Session) error {
+		iter := 0
+		state := make([]byte, 64<<10)
+		s.Register("iter", &iter)
+		s.Register("state", &state)
+		for !s.Done() && iter < b.N {
+			if s.Active() {
+				mu.Lock()
+				flip = !flip // make the other host look better
+				mu.Unlock()
+				iter++
+			}
+			if err := s.SwapPoint(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkStateCodec1MB(b *testing.B) {
+	world := mpi.NewWorld(1)
+	payload := make([]byte, 1<<20)
+	err := swaprt.Run(world, swaprt.Config{
+		Active: 1,
+		Probe:  func(int) float64 { return 1 },
+	}, func(s *swaprt.Session) error {
+		s.Register("payload", &payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var sink discard
+			if err := s.SaveCheckpoint(&sink); err != nil {
+				return err
+			}
+			b.SetBytes(int64(sink))
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+type discard int
+
+func (d *discard) Write(p []byte) (int, error) { *d += discard(len(p)); return len(p), nil }
+
+func BenchmarkNBodyStep(b *testing.B) {
+	nb := apps.NBody{N: 256, G: 0.001, Dt: 0.01, Softening: 0.1}
+	w := mpi.NewWorld(4)
+	b.ResetTimer()
+	err := w.Run(func(r *mpi.Rank) error {
+		c := r.World()
+		st := nb.Init(c.Size(), c.Rank(), 1)
+		for i := 0; i < b.N; i++ {
+			if err := nb.Step(c, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkJacobiStep(b *testing.B) {
+	j := apps.Jacobi1D{N: 4096, Left: 0, Right: 1}
+	w := mpi.NewWorld(4)
+	b.ResetTimer()
+	err := w.Run(func(r *mpi.Rank) error {
+		c := r.World()
+		st := j.Init(c.Size(), c.Rank())
+		for i := 0; i < b.N; i++ {
+			if _, err := j.Step(c, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkGanttRender(b *testing.B) {
+	res := strategy.Result{Strategy: "swap", Swaps: 10}
+	for i := 0; i < 100; i++ {
+		res.Iters = append(res.Iters, strategy.IterRecord{Hosts: []int{i % 8, (i + 3) % 8, (i + 5) % 8}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strategy.Gantt(res)
+	}
+}

@@ -1,0 +1,41 @@
+// Command ckptstore runs the central checkpoint store of the paper's
+// checkpoint/restart technique: ranks write their registered state to it
+// (Session.CheckpointTo) and a restarted run reads the state back
+// (Session.RestoreFrom).
+//
+// Example:
+//
+//	ckptstore -addr 127.0.0.1:7080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/swaprt"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7080", "listen address")
+		quiet = flag.Bool("quiet", false, "suppress per-operation logging")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptstore:", err)
+		os.Exit(1)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	log.Printf("ckptstore: serving on %s", ln.Addr())
+	if err := swaprt.NewStoreServer(logf).Serve(ln); err != nil {
+		log.Fatalf("ckptstore: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+// Command loadtrace emits CPU load traces from the paper's load models
+// (Figures 2 and 3) as CSV time series, for inspection or for replay via
+// the loadgen.Replay model.
+//
+// Example:
+//
+//	loadtrace -model onoff -p 0.3 -q 0.08 -horizon 3600
+//	loadtrace -model hyperexp -lifetime 300 -horizon 3600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/loadgen"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "onoff", "load model: onoff or hyperexp")
+		p        = flag.Float64("p", 0.3, "onoff: per-step load probability")
+		q        = flag.Float64("q", 0.08, "onoff: per-step unload probability")
+		step     = flag.Float64("step", loadgen.DefaultStep, "model step seconds")
+		lifetime = flag.Float64("lifetime", 300, "hyperexp: mean process lifetime (s)")
+		arrival  = flag.Float64("arrival", 0.05, "hyperexp: arrival probability per step")
+		horizon  = flag.Float64("horizon", 3600, "trace length (s)")
+		interval = flag.Float64("interval", 0, "sampling interval (s); 0 = model step")
+		seed     = flag.Int64("seed", 1, "random seed")
+		segments = flag.Bool("segments", false, "emit change-point segments instead of samples")
+		plot     = flag.Bool("plot", false, "render an ASCII chart instead of CSV")
+	)
+	flag.Parse()
+
+	var m loadgen.Model
+	switch *model {
+	case "onoff":
+		m = loadgen.OnOff{P: *p, Q: *q, Step: *step}
+	case "hyperexp":
+		h := loadgen.NewHyperExp(*lifetime)
+		h.ArrivalProb = *arrival
+		h.Step = *step
+		m = h
+	default:
+		fmt.Fprintf(os.Stderr, "loadtrace: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	tr := loadgen.NewTrace(m.NewSource(rng.NewSource(*seed), 0))
+	if *plot {
+		iv := *interval
+		if iv <= 0 {
+			iv = *step
+		}
+		samples := tr.Sample(*horizon, iv)
+		p := &trace.Plot{
+			Title:  fmt.Sprintf("%s seed=%d", m.Describe(), *seed),
+			XLabel: "time (s)", YLabel: "competing processes",
+			Height: 8,
+		}
+		ys := make([]float64, len(samples))
+		for i, v := range samples {
+			p.X = append(p.X, float64(i)*iv)
+			ys[i] = float64(v)
+		}
+		p.Series = []trace.PlotSeries{{Name: "load", Y: ys}}
+		if err := p.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "loadtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("# %s seed=%d\n", m.Describe(), *seed)
+	if *segments {
+		starts, vals := tr.Segments(*horizon)
+		fmt.Println("start_s,competing_processes")
+		for i := range starts {
+			if starts[i] > *horizon {
+				break
+			}
+			fmt.Printf("%.3f,%d\n", starts[i], vals[i])
+		}
+		return
+	}
+	iv := *interval
+	if iv <= 0 {
+		iv = *step
+	}
+	fmt.Println("time_s,competing_processes")
+	for i, v := range tr.Sample(*horizon, iv) {
+		fmt.Printf("%.3f,%d\n", float64(i)*iv, v)
+	}
+}

@@ -1,0 +1,50 @@
+// Command swapmgr runs a standalone swap-manager daemon: the "possibly
+// remote process responsible for collecting information and making
+// swapping decisions" of the paper's runtime architecture. Applications
+// using the swaprt runtime point a swaprt.RemoteDecider at its address;
+// each connection carries one JSON DecideRequest and receives one JSON
+// DecideResponse.
+//
+// Example:
+//
+//	swapmgr -addr 127.0.0.1:7070 -policy safe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/swaprt"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7070", "listen address")
+		policy = flag.String("policy", "greedy", "swap policy: greedy, safe or friendly")
+		quiet  = flag.Bool("quiet", false, "suppress per-decision logging")
+	)
+	flag.Parse()
+
+	pol, err := core.Named(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swapmgr:", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swapmgr:", err)
+		os.Exit(1)
+	}
+	log.Printf("swapmgr: serving policy %s on %s", pol, ln.Addr())
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	if err := swaprt.ServeManager(ln, swaprt.NewLocalDecider(pol), logf); err != nil {
+		log.Fatalf("swapmgr: %v", err)
+	}
+}

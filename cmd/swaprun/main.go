@@ -1,0 +1,214 @@
+// Command swaprun drives a synthetic iterative application on the live
+// swapping runtime (internal/swaprt over internal/mpi): a world of ranks
+// in this process, an injectable load schedule that slows chosen "hosts"
+// mid-run, and either an in-process swap manager or a remote swapmgr
+// daemon. It is the end-to-end harness for the runtime half of the
+// reproduction.
+//
+// Examples:
+//
+//	swaprun -ranks 4 -active 2 -iters 40 -inject 1@0.3:8
+//	swaprun -ranks 6 -active 3 -policy safe -inject 0@0.5:4,2@1:6
+//	swapmgr -addr 127.0.0.1:7070 &  swaprun -manager 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/swaprt"
+)
+
+// injection is one scheduled load event: after Delay, the host of Rank
+// runs Factor times slower.
+type injection struct {
+	Rank   int
+	Delay  time.Duration
+	Factor float64
+}
+
+func parseInjections(spec string) ([]injection, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []injection
+	for _, part := range strings.Split(spec, ",") {
+		var rank int
+		var secs, factor float64
+		at := strings.Split(part, "@")
+		if len(at) != 2 {
+			return nil, fmt.Errorf("injection %q: want rank@seconds:factor", part)
+		}
+		colon := strings.Split(at[1], ":")
+		if len(colon) != 2 {
+			return nil, fmt.Errorf("injection %q: want rank@seconds:factor", part)
+		}
+		var err error
+		if rank, err = strconv.Atoi(at[0]); err != nil {
+			return nil, fmt.Errorf("injection %q: %v", part, err)
+		}
+		if secs, err = strconv.ParseFloat(colon[0], 64); err != nil {
+			return nil, fmt.Errorf("injection %q: %v", part, err)
+		}
+		if factor, err = strconv.ParseFloat(colon[1], 64); err != nil {
+			return nil, fmt.Errorf("injection %q: %v", part, err)
+		}
+		if factor < 1 {
+			return nil, fmt.Errorf("injection %q: factor must be >= 1", part)
+		}
+		out = append(out, injection{Rank: rank, Delay: time.Duration(secs * float64(time.Second)), Factor: factor})
+	}
+	return out, nil
+}
+
+// injector tracks per-rank slowdown factors.
+type injector struct {
+	mu     sync.Mutex
+	factor []float64
+}
+
+func (in *injector) slowdown(rank int) float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.factor[rank]
+}
+
+func (in *injector) probe(rank int) float64 { return 1000 / in.slowdown(rank) }
+
+func (in *injector) apply(i injection) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.factor[i.Rank] = i.Factor
+}
+
+func main() {
+	var (
+		ranks    = flag.Int("ranks", 4, "world size (actives + spares)")
+		active   = flag.Int("active", 2, "active processes")
+		iters    = flag.Int("iters", 40, "iterations")
+		workMS   = flag.Float64("work", 20, "unloaded compute milliseconds per iteration per rank")
+		state    = flag.Int("state", 4096, "extra registered state bytes per process")
+		policy   = flag.String("policy", "greedy", "swap policy: greedy, safe or friendly")
+		manager  = flag.String("manager", "", "remote swapmgr address (overrides -policy decisions locally)")
+		inject   = flag.String("inject", "1@0.3:8", "load schedule: rank@seconds:factor[,...]; empty for none")
+		handler  = flag.Duration("handler", 0, "swap-handler probe interval (0 = probe at swap points only)")
+		tcpWorld = flag.Bool("tcp", false, "use the TCP transport between ranks instead of in-process")
+	)
+	flag.Parse()
+
+	pol, err := core.Named(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	injections, err := parseInjections(*inject)
+	if err != nil {
+		fatal(err)
+	}
+	for _, i := range injections {
+		if i.Rank < 0 || i.Rank >= *ranks {
+			fatal(fmt.Errorf("injection rank %d out of world [0,%d)", i.Rank, *ranks))
+		}
+	}
+
+	inj := &injector{factor: make([]float64, *ranks)}
+	for i := range inj.factor {
+		inj.factor[i] = 1
+	}
+	for _, i := range injections {
+		i := i
+		go func() {
+			time.Sleep(i.Delay)
+			log.Printf("inject: host of rank %d now %gx slower", i.Rank, i.Factor)
+			inj.apply(i)
+		}()
+	}
+
+	var world *mpi.World
+	if *tcpWorld {
+		world, err = mpi.NewTCPWorld(*ranks)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		world = mpi.NewWorld(*ranks)
+	}
+
+	cfg := swaprt.Config{
+		Active:          *active,
+		Policy:          pol,
+		Probe:           inj.probe,
+		Logf:            log.Printf,
+		HandlerInterval: *handler,
+	}
+	if *manager != "" {
+		cfg.Decider = swaprt.RemoteDecider{Addr: *manager}
+		log.Printf("using remote swap manager at %s", *manager)
+	}
+
+	start := time.Now()
+	var mu sync.Mutex
+	totalSwaps := 0
+	err = swaprt.Run(world, cfg, func(s *swaprt.Session) error {
+		iter := 0
+		acc := 0.0
+		pad := make([]byte, *state)
+		s.Register("iter", &iter)
+		s.Register("acc", &acc)
+		s.Register("pad", &pad)
+		for !s.Done() && iter < *iters {
+			if s.Active() {
+				busyWait(time.Duration(*workMS*inj.slowdown(s.Rank())) * time.Millisecond / 1)
+				v, err := s.Comm().AllReduceFloat64(mpi.OpSum, 1)
+				if err != nil {
+					return err
+				}
+				acc += v
+				iter++
+			}
+			if err := s.SwapPoint(); err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		totalSwaps += s.Swaps()
+		mu.Unlock()
+		if s.Active() && s.Comm().Rank() == 0 {
+			want := float64(*iters * *active)
+			status := "OK"
+			if acc != want {
+				status = fmt.Sprintf("CORRUPT (acc=%g want=%g)", acc, want)
+			}
+			log.Printf("finished %d iterations on rank %d: %s", iter, s.Rank(), status)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("completed %d iterations on %d/%d ranks in %.2fs with %d swap participations\n",
+		*iters, *active, *ranks, time.Since(start).Seconds(), totalSwaps)
+}
+
+func busyWait(d time.Duration) {
+	end := time.Now().Add(d)
+	x := 1.0
+	for time.Now().Before(end) {
+		for i := 0; i < 1000; i++ {
+			x = x*1.0000001 + 1e-12
+		}
+	}
+	_ = x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swaprun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,193 @@
+package repro
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/simkern"
+	"repro/internal/strategy"
+	"repro/internal/swaprt"
+)
+
+// TestSimAndRuntimeDecidersAgree checks that the simulator's policy
+// engine and the live runtime's LocalDecider make the same call on the
+// same measurements: the policies are one implementation, so a divergence
+// would mean the runtime plumbing distorts inputs.
+func TestSimAndRuntimeDecidersAgree(t *testing.T) {
+	st := rng.NewSource(7).Stream("rates")
+	for trial := 0; trial < 200; trial++ {
+		nA := 1 + st.Intn(6)
+		nS := st.Intn(6)
+		var active, spare []core.Candidate
+		var activeSet, spareSet []int
+		var activeRates, spareRates []float64
+		for i := 0; i < nA; i++ {
+			r := st.Uniform(50, 900)
+			active = append(active, core.Candidate{ID: i, Rate: r})
+			activeSet = append(activeSet, i)
+			activeRates = append(activeRates, r)
+		}
+		for i := 0; i < nS; i++ {
+			r := st.Uniform(50, 900)
+			spare = append(spare, core.Candidate{ID: 100 + i, Rate: r})
+			spareSet = append(spareSet, 100+i)
+			spareRates = append(spareRates, r)
+		}
+		iterTime := st.Uniform(30, 400)
+		swapTime := st.Uniform(0, 50)
+
+		for _, pol := range []core.Policy{core.Greedy(), core.Friendly()} {
+			want := pol.Decide(core.DecideInput{
+				Active: active, Spare: spare, IterTime: iterTime, SwapTime: swapTime,
+			})
+			// Fresh decider each trial: no history (windows don't apply
+			// to greedy/friendly on a first sample anyway).
+			d := swaprt.NewLocalDecider(pol)
+			got, err := d.Decide(swaprt.DecideRequest{
+				Now: 1, ActiveSet: activeSet, ActiveRates: activeRates,
+				SpareSet: spareSet, SpareRates: spareRates,
+				IterTime: iterTime, SwapTime: swapTime,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Swaps) != len(want) {
+				t.Fatalf("trial %d %s: runtime made %d swaps, sim %d",
+					trial, pol.Name, len(got.Swaps), len(want))
+			}
+			for i := range want {
+				if got.Swaps[i].Out != want[i].Out.ID || got.Swaps[i].In != want[i].In.ID {
+					t.Fatalf("trial %d %s: swap %d = %+v, want %+v",
+						trial, pol.Name, i, got.Swaps[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTracePipelineEndToEnd exercises record → CSV → parse → replay →
+// simulate, asserting byte-identical results across two full passes.
+func TestTracePipelineEndToEnd(t *testing.T) {
+	run := func() float64 {
+		src := rng.NewSource(303)
+		model := loadgen.NewOnOff(0.3)
+		var set loadgen.TraceSet
+		for h := 0; h < 8; h++ {
+			tr := loadgen.NewTrace(model.NewSource(src, h))
+			starts, vals := tr.Segments(7200)
+			var segs []loadgen.Segment
+			for i := 0; i < len(starts)-1; i++ {
+				segs = append(segs, loadgen.Segment{Dur: starts[i+1] - starts[i], N: vals[i]})
+			}
+			var buf bytes.Buffer
+			if err := loadgen.WriteTraceCSV(&buf, segs, vals[len(vals)-1]); err != nil {
+				t.Fatal(err)
+			}
+			parsed, tail, err := loadgen.ParseTraceCSV(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set.Traces = append(set.Traces, loadgen.Replay{Segments: parsed, Tail: tail})
+		}
+		k := simkern.New()
+		p := platform.New(k, platform.Default(8, set), rng.NewSource(9))
+		res := strategy.Swap{}.Run(p, strategy.Scenario{
+			Active: 4, App: app.Default(8), Policy: core.Greedy(),
+		})
+		return res.TotalTime
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("trace pipeline nondeterministic: %g vs %g", a, b)
+	}
+}
+
+// TestRuntimeOverTCPWithSwaps runs the live runtime on the TCP transport
+// with a forced performance imbalance and verifies state integrity.
+func TestRuntimeOverTCPWithSwaps(t *testing.T) {
+	world, err := mpi.NewTCPWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	rates := []float64{100, 100, 1000}
+	var finalSum float64
+	err = swaprt.Run(world, swaprt.Config{
+		Active: 2,
+		Policy: core.Greedy(),
+		Probe: func(rank int) float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return rates[rank]
+		},
+	}, func(s *swaprt.Session) error {
+		iter := 0
+		sum := 0.0
+		s.Register("iter", &iter)
+		s.Register("sum", &sum)
+		for !s.Done() && iter < 12 {
+			if s.Active() {
+				v, err := s.Comm().AllReduceFloat64(mpi.OpSum, 1)
+				if err != nil {
+					return err
+				}
+				sum += v
+				iter++
+			}
+			if err := s.SwapPoint(); err != nil {
+				return err
+			}
+		}
+		if s.Active() && iter == 12 {
+			mu.Lock()
+			finalSum = sum
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalSum != 24 {
+		t.Fatalf("final sum over TCP with swaps = %g, want 24", finalSum)
+	}
+}
+
+// TestPaybackRuleOfThumbHoldsInSimulation validates the paper's headline
+// guidance end to end: swapping pays when swap time < iteration time and
+// hurts when it does not, on the very same platform.
+func TestPaybackRuleOfThumbHoldsInSimulation(t *testing.T) {
+	mk := func(state float64, seed int64) (swap, none float64) {
+		a := app.Default(12).WithState(state)
+		sc := strategy.Scenario{Active: 4, App: a, Policy: core.Greedy()}
+		k1 := simkern.New()
+		p1 := platform.New(k1, platform.Default(16, loadgen.NewOnOff(0.25)), rng.NewSource(seed))
+		k2 := simkern.New()
+		p2 := platform.New(k2, platform.Default(16, loadgen.NewOnOff(0.25)), rng.NewSource(seed))
+		return strategy.Swap{}.Run(p1, sc).TotalTime, strategy.None{}.Run(p2, sc).TotalTime
+	}
+	wins, losses := 0, 0
+	for seed := int64(1); seed <= 5; seed++ {
+		// 1 MB state: swap time ~0.17 s << iteration time.
+		if s, n := mk(1e6, seed); s < n {
+			wins++
+		}
+		// 2 GB state: swap time ~333 s >> iteration time.
+		if s, n := mk(2e9, seed); s > n {
+			losses++
+		}
+	}
+	if wins < 4 {
+		t.Errorf("cheap swaps won only %d/5 seeds", wins)
+	}
+	if losses < 4 {
+		t.Errorf("expensive swaps hurt only %d/5 seeds", losses)
+	}
+}

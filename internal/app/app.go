@@ -1,0 +1,89 @@
+// Package app models the application class the paper targets: iterative
+// data-parallel MPI applications with a fixed data distribution, where
+// every iteration computes a work chunk per process, exchanges data, and
+// synchronizes (the loop containing the MPI_Swap() call).
+package app
+
+import "fmt"
+
+// Iterative describes one application. The paper's simulation studies
+// draw these from: per-iteration compute of 1–5 minutes on an unloaded
+// processor, per-iteration communication of 1 KB–1 GB, and process state
+// of 1 KB–1 GB.
+type Iterative struct {
+	// Iterations is the number of iterations to run. (The payback metric
+	// exists precisely because real applications often run "until
+	// convergence"; the simulation uses a fixed count so runs are
+	// comparable.)
+	Iterations int
+	// WorkPerProcIter is the flops each process computes per iteration
+	// under the equal (rigid) data distribution.
+	WorkPerProcIter float64
+	// BytesPerIter is the bytes each process communicates per iteration
+	// over the shared link.
+	BytesPerIter float64
+	// StateBytes is the per-process state transferred by a swap or
+	// written/read by a checkpoint.
+	StateBytes float64
+}
+
+// RefSpeed is the reference processor speed used to size default
+// workloads: the middle of the paper's hundreds-of-MFlop/s range.
+const RefSpeed = 500e6 // flop/s
+
+// Default returns a representative application: iterations sized to take
+// about two minutes of compute on an unloaded reference processor, 1 MB
+// of communication per iteration and 1 MB of process state.
+func Default(iterations int) Iterative {
+	return Iterative{
+		Iterations:      iterations,
+		WorkPerProcIter: 120 * RefSpeed, // ~2 min on a 500 MFlop/s host
+		BytesPerIter:    1e6,
+		StateBytes:      1e6,
+	}
+}
+
+// WithIterSeconds sizes WorkPerProcIter so an unloaded reference
+// processor computes one iteration in the given seconds.
+func (a Iterative) WithIterSeconds(s float64) Iterative {
+	a.WorkPerProcIter = s * RefSpeed
+	return a
+}
+
+// WithState sets the per-process state size in bytes.
+func (a Iterative) WithState(bytes float64) Iterative {
+	a.StateBytes = bytes
+	return a
+}
+
+// WithComm sets the per-process per-iteration communication volume.
+func (a Iterative) WithComm(bytes float64) Iterative {
+	a.BytesPerIter = bytes
+	return a
+}
+
+// TotalWorkPerIter reports the total flops per iteration when the
+// application runs on n processes.
+func (a Iterative) TotalWorkPerIter(n int) float64 {
+	return a.WorkPerProcIter * float64(n)
+}
+
+// Validate checks the parameters.
+func (a Iterative) Validate() error {
+	if a.Iterations <= 0 {
+		return fmt.Errorf("app: Iterations %d", a.Iterations)
+	}
+	if a.WorkPerProcIter <= 0 {
+		return fmt.Errorf("app: WorkPerProcIter %g", a.WorkPerProcIter)
+	}
+	if a.BytesPerIter < 0 || a.StateBytes < 0 {
+		return fmt.Errorf("app: negative bytes")
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (a Iterative) String() string {
+	return fmt.Sprintf("iterative{%d iters, %.3g flop/proc/iter, %.3g B comm, %.3g B state}",
+		a.Iterations, a.WorkPerProcIter, a.BytesPerIter, a.StateBytes)
+}

@@ -1,0 +1,65 @@
+package app
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	a := Default(30)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Iterations != 30 {
+		t.Fatalf("Iterations = %d", a.Iterations)
+	}
+	// 2 minutes on the reference processor.
+	if got := a.WorkPerProcIter / RefSpeed; got != 120 {
+		t.Fatalf("reference iteration seconds = %g", got)
+	}
+}
+
+func TestWithIterSeconds(t *testing.T) {
+	a := Default(10).WithIterSeconds(300)
+	if got := a.WorkPerProcIter / RefSpeed; got != 300 {
+		t.Fatalf("iteration seconds = %g", got)
+	}
+}
+
+func TestWithStateAndComm(t *testing.T) {
+	a := Default(10).WithState(1e9).WithComm(1e3)
+	if a.StateBytes != 1e9 || a.BytesPerIter != 1e3 {
+		t.Fatalf("builders wrong: %+v", a)
+	}
+	// Builders must not disturb other fields.
+	if a.Iterations != 10 {
+		t.Fatal("builder clobbered Iterations")
+	}
+}
+
+func TestTotalWorkPerIter(t *testing.T) {
+	a := Default(1)
+	if got := a.TotalWorkPerIter(4); got != 4*a.WorkPerProcIter {
+		t.Fatalf("TotalWorkPerIter = %g", got)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	bad := []Iterative{
+		{Iterations: 0, WorkPerProcIter: 1},
+		{Iterations: 1, WorkPerProcIter: 0},
+		{Iterations: 1, WorkPerProcIter: 1, BytesPerIter: -1},
+		{Iterations: 1, WorkPerProcIter: 1, StateBytes: -1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad app %d validated", i)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Default(5).String(); !strings.Contains(s, "5 iters") {
+		t.Fatalf("String = %q", s)
+	}
+}

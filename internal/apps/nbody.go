@@ -1,0 +1,191 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/rng"
+)
+
+// NBody is a 2-D gravitational particle-dynamics simulation with Plummer
+// softening, integrated with the leapfrog (kick-drift-kick) scheme.
+// Particles are block-partitioned across ranks; each step allgathers all
+// positions and computes forces on the local block — the classic
+// replicated-positions parallel N-body, which is exactly the
+// communication pattern of the paper's validation application.
+type NBody struct {
+	N         int     // total particles
+	G         float64 // gravitational constant
+	Dt        float64 // time step
+	Softening float64
+}
+
+// NBodyState is one rank's particle block.
+type NBodyState struct {
+	Lo           int // global index of the first local particle
+	X, Y, VX, VY []float64
+	// scratch for the gathered global positions
+	allX, allY []float64
+}
+
+// Partition reports the half-open particle range owned by rank r of n.
+func (nb NBody) Partition(r, n int) (lo, hi int) {
+	per := nb.N / n
+	rem := nb.N % n
+	lo = r*per + min(r, rem)
+	hi = lo + per
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Init places the full system deterministically (uniform disc positions,
+// small random velocities) and returns rank r's block. All ranks with the
+// same seed see the same global system.
+func (nb NBody) Init(commSize, rank int, seed int64) *NBodyState {
+	if nb.N < commSize {
+		panic(fmt.Sprintf("apps: NBody with %d particles on %d ranks", nb.N, commSize))
+	}
+	st := rng.NewSource(seed).Stream("nbody-init")
+	gx := make([]float64, nb.N)
+	gy := make([]float64, nb.N)
+	gvx := make([]float64, nb.N)
+	gvy := make([]float64, nb.N)
+	for i := 0; i < nb.N; i++ {
+		r := math.Sqrt(st.Float64())
+		th := st.Uniform(0, 2*math.Pi)
+		gx[i] = r * math.Cos(th)
+		gy[i] = r * math.Sin(th)
+		gvx[i] = st.Normal(0, 0.05)
+		gvy[i] = st.Normal(0, 0.05)
+	}
+	lo, hi := nb.Partition(rank, commSize)
+	return &NBodyState{
+		Lo: lo,
+		X:  append([]float64(nil), gx[lo:hi]...),
+		Y:  append([]float64(nil), gy[lo:hi]...),
+		VX: append([]float64(nil), gvx[lo:hi]...),
+		VY: append([]float64(nil), gvy[lo:hi]...),
+	}
+}
+
+// gatherPositions assembles the global position arrays on every rank.
+func (nb NBody) gatherPositions(comm *mpi.Comm, st *NBodyState) error {
+	payload := make([]byte, 8+16*len(st.X))
+	binary.BigEndian.PutUint64(payload, uint64(st.Lo))
+	for i := range st.X {
+		binary.BigEndian.PutUint64(payload[8+i*16:], math.Float64bits(st.X[i]))
+		binary.BigEndian.PutUint64(payload[16+i*16:], math.Float64bits(st.Y[i]))
+	}
+	parts, err := comm.AllGather(payload)
+	if err != nil {
+		return err
+	}
+	if cap(st.allX) < nb.N {
+		st.allX = make([]float64, nb.N)
+		st.allY = make([]float64, nb.N)
+	}
+	st.allX = st.allX[:nb.N]
+	st.allY = st.allY[:nb.N]
+	for _, p := range parts {
+		if len(p) < 8 || (len(p)-8)%16 != 0 {
+			return fmt.Errorf("apps: malformed nbody payload (%d bytes)", len(p))
+		}
+		lo := int(binary.BigEndian.Uint64(p))
+		cnt := (len(p) - 8) / 16
+		for i := 0; i < cnt; i++ {
+			st.allX[lo+i] = math.Float64frombits(binary.BigEndian.Uint64(p[8+i*16:]))
+			st.allY[lo+i] = math.Float64frombits(binary.BigEndian.Uint64(p[16+i*16:]))
+		}
+	}
+	return nil
+}
+
+// accel computes the acceleration on local particle i from the gathered
+// global positions (unit masses).
+func (nb NBody) accel(st *NBodyState, i int) (ax, ay float64) {
+	xi, yi := st.X[i], st.Y[i]
+	gi := st.Lo + i
+	eps2 := nb.Softening * nb.Softening
+	for jj := 0; jj < nb.N; jj++ {
+		if jj == gi {
+			continue
+		}
+		dx := st.allX[jj] - xi
+		dy := st.allY[jj] - yi
+		r2 := dx*dx + dy*dy + eps2
+		inv := 1 / (r2 * math.Sqrt(r2))
+		ax += nb.G * dx * inv
+		ay += nb.G * dy * inv
+	}
+	return ax, ay
+}
+
+// Step advances the local block one leapfrog step. All ranks must call it
+// collectively.
+func (nb NBody) Step(comm *mpi.Comm, st *NBodyState) error {
+	if err := nb.gatherPositions(comm, st); err != nil {
+		return err
+	}
+	h := nb.Dt / 2
+	// Kick + drift.
+	for i := range st.X {
+		ax, ay := nb.accel(st, i)
+		st.VX[i] += h * ax
+		st.VY[i] += h * ay
+		st.X[i] += nb.Dt * st.VX[i]
+		st.Y[i] += nb.Dt * st.VY[i]
+	}
+	// Second kick with updated positions.
+	if err := nb.gatherPositions(comm, st); err != nil {
+		return err
+	}
+	for i := range st.X {
+		ax, ay := nb.accel(st, i)
+		st.VX[i] += h * ax
+		st.VY[i] += h * ay
+	}
+	return nil
+}
+
+// Energy computes the system's total energy (kinetic + potential)
+// collectively; every rank receives the same value.
+func (nb NBody) Energy(comm *mpi.Comm, st *NBodyState) (float64, error) {
+	if err := nb.gatherPositions(comm, st); err != nil {
+		return 0, err
+	}
+	kin := 0.0
+	for i := range st.X {
+		kin += 0.5 * (st.VX[i]*st.VX[i] + st.VY[i]*st.VY[i])
+	}
+	pot := 0.0
+	eps2 := nb.Softening * nb.Softening
+	for i := range st.X {
+		gi := st.Lo + i
+		for jj := gi + 1; jj < nb.N; jj++ {
+			dx := st.allX[jj] - st.X[i]
+			dy := st.allY[jj] - st.Y[i]
+			pot -= nb.G / math.Sqrt(dx*dx+dy*dy+eps2)
+		}
+	}
+	// Local pair sums cover (i, j>i) with i local, which partitions all
+	// pairs exactly once across ranks.
+	return comm.AllReduceFloat64(mpi.OpSum, kin+pot)
+}
+
+// Momentum computes the total momentum (px, py) collectively.
+func (nb NBody) Momentum(comm *mpi.Comm, st *NBodyState) (px, py float64, err error) {
+	for i := range st.VX {
+		px += st.VX[i]
+		py += st.VY[i]
+	}
+	px, err = comm.AllReduceFloat64(mpi.OpSum, px)
+	if err != nil {
+		return 0, 0, err
+	}
+	py, err = comm.AllReduceFloat64(mpi.OpSum, py)
+	return px, py, err
+}

@@ -1,0 +1,26 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+func packFloats(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.BigEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+func unpackFloats(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("apps: float payload of %d bytes", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(data[i*8:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Candidate is a host (or processor) with its predicted effective
+// performance, as estimated by the policy's history window.
+type Candidate struct {
+	ID   int
+	Rate float64 // predicted flop/s (any increasing performance measure)
+}
+
+// SwapPair is one accepted swap: move the process off Out's host onto
+// In's host.
+type SwapPair struct {
+	Out, In  Candidate
+	ProcGain float64 // fractional process performance gain
+	AppGain  float64 // fractional application performance gain
+	Payback  float64 // payback distance in iterations
+}
+
+// DecideInput carries everything a policy needs to make a swap decision
+// at an iteration boundary.
+type DecideInput struct {
+	Active []Candidate // hosts currently running application processes
+	Spare  []Candidate // over-allocated idle hosts
+	// IterTime is the application's current iteration time (seconds),
+	// the "old iteration time" of the payback formula.
+	IterTime float64
+	// SwapTime is the predicted cost of one swap (seconds).
+	SwapTime float64
+	// AppPerf predicts relative application performance for a
+	// hypothetical multiset of active-host rates; higher is better. If
+	// nil, the bottleneck model is used: performance proportional to the
+	// minimum rate, which is exact for equal-size work partitions.
+	AppPerf func(rates []float64) float64
+}
+
+// BottleneckAppPerf is the default application performance model: with
+// equal work partitions the iteration time is set by the slowest host, so
+// application performance is proportional to the minimum rate.
+func BottleneckAppPerf(rates []float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	m := math.Inf(1)
+	for _, r := range rates {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Decide applies the policy to propose swaps, following the paper: "All
+// three policies, when they decide to swap, swap the slowest active
+// processor(s) for the fastest inactive processor(s)". Pairs are
+// considered in that order (slowest active with fastest spare, then
+// second-slowest with second-fastest, ...) and each must clear every
+// enabled gate:
+//
+//   - the spare must be predicted strictly faster than the active host;
+//   - the process improvement must exceed MinProcImprovement;
+//   - the payback distance must be positive and at most PaybackThreshold;
+//   - if MinAppImprovement > 0, the application improvement (cumulative
+//     over already-accepted pairs) must exceed it.
+//
+// Consideration stops at the first rejected pair.
+func (p Policy) Decide(in DecideInput) []SwapPair {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if in.IterTime <= 0 {
+		panic(fmt.Sprintf("core: Decide with IterTime %g", in.IterTime))
+	}
+	if in.SwapTime < 0 {
+		panic(fmt.Sprintf("core: Decide with SwapTime %g", in.SwapTime))
+	}
+	appPerf := in.AppPerf
+	if appPerf == nil {
+		appPerf = BottleneckAppPerf
+	}
+
+	active := append([]Candidate(nil), in.Active...)
+	spare := append([]Candidate(nil), in.Spare...)
+	// Slowest active first; fastest spare first. Ties break by ID so
+	// decisions are deterministic.
+	sort.Slice(active, func(i, j int) bool {
+		if active[i].Rate != active[j].Rate {
+			return active[i].Rate < active[j].Rate
+		}
+		return active[i].ID < active[j].ID
+	})
+	sort.Slice(spare, func(i, j int) bool {
+		if spare[i].Rate != spare[j].Rate {
+			return spare[i].Rate > spare[j].Rate
+		}
+		return spare[i].ID < spare[j].ID
+	})
+
+	rates := make([]float64, len(active))
+	for i, c := range active {
+		rates[i] = c.Rate
+	}
+
+	var out []SwapPair
+	n := len(active)
+	if len(spare) < n {
+		n = len(spare)
+	}
+	for k := 0; k < n; k++ {
+		pair, ok := p.EvaluatePair(active[k], spare[k], rates, k,
+			in.IterTime, in.SwapTime, appPerf)
+		if !ok {
+			break
+		}
+		out = append(out, pair)
+		rates[k] = spare[k].Rate // app gains accumulate over accepted pairs
+	}
+	return out
+}
+
+// EvaluatePair applies the policy's gates to one specific candidate swap:
+// replacing the active host at index idx of rates (which must equal
+// out.Rate) with the spare `in`. It returns the accepted pair and true,
+// or false if any gate rejects. This is the primitive both Decide and the
+// selection-rule ablation build on; rates is not modified.
+func (p Policy) EvaluatePair(out, in Candidate, rates []float64, idx int,
+	iterTime, swapTime float64, appPerf func([]float64) float64) (SwapPair, bool) {
+
+	if appPerf == nil {
+		appPerf = BottleneckAppPerf
+	}
+	if in.Rate <= out.Rate {
+		return SwapPair{}, false
+	}
+	procGain := in.Rate/out.Rate - 1
+	if procGain <= p.MinProcImprovement {
+		return SwapPair{}, false
+	}
+	payback := PaybackDistance(swapTime, iterTime, out.Rate, in.Rate)
+	if payback > p.PaybackThreshold {
+		return SwapPair{}, false
+	}
+	oldPerf := appPerf(rates)
+	newRates := append([]float64(nil), rates...)
+	newRates[idx] = in.Rate
+	newPerf := appPerf(newRates)
+	appGain := 0.0
+	if oldPerf > 0 {
+		appGain = newPerf/oldPerf - 1
+	}
+	if p.MinAppImprovement > 0 && appGain <= p.MinAppImprovement {
+		return SwapPair{}, false
+	}
+	return SwapPair{
+		Out: out, In: in,
+		ProcGain: procGain, AppGain: appGain, Payback: payback,
+	}, true
+}
+
+// RelocateInput describes a proposed whole-application relocation, the
+// checkpoint/restart analogue of a swap decision: the paper's CR
+// technique decides to checkpoint "based on the same criteria used to
+// evaluate process swapping decisions", except that the whole application
+// pays one combined overhead and every process may move.
+type RelocateInput struct {
+	// OldRates and NewRates are the predicted rates of the current and
+	// proposed host sets (equal lengths).
+	OldRates, NewRates []float64
+	IterTime           float64 // current iteration time (seconds)
+	Overhead           float64 // total checkpoint+restart+reload cost (seconds)
+	AppPerf            func(rates []float64) float64
+}
+
+// DecideRelocation reports whether the policy allows the relocation, and
+// the application-level payback distance of doing it.
+func (p Policy) DecideRelocation(in RelocateInput) (ok bool, payback float64) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if len(in.OldRates) != len(in.NewRates) {
+		panic(fmt.Sprintf("core: DecideRelocation with %d old vs %d new rates",
+			len(in.OldRates), len(in.NewRates)))
+	}
+	if len(in.OldRates) == 0 || in.IterTime <= 0 {
+		return false, math.Inf(1)
+	}
+	appPerf := in.AppPerf
+	if appPerf == nil {
+		appPerf = BottleneckAppPerf
+	}
+	oldPerf := appPerf(in.OldRates)
+	newPerf := appPerf(in.NewRates)
+	if newPerf <= oldPerf || oldPerf <= 0 {
+		return false, math.Inf(1)
+	}
+	// Per-process gate: pair slowest-old with fastest-new; every changed
+	// pair must clear the process threshold, mirroring Decide.
+	old := append([]float64(nil), in.OldRates...)
+	neu := append([]float64(nil), in.NewRates...)
+	sort.Float64s(old)
+	sort.Sort(sort.Reverse(sort.Float64Slice(neu)))
+	for i := range old {
+		if neu[i] <= old[i] {
+			break // unchanged or not improved beyond this pairing
+		}
+		if neu[i]/old[i]-1 <= p.MinProcImprovement {
+			return false, math.Inf(1)
+		}
+		// Only the first changed pair must clear the threshold for a
+		// relocation to be worthwhile at all; further pairs may be
+		// unchanged members of the set.
+		break
+	}
+	payback = PaybackDistance(in.Overhead, in.IterTime, oldPerf, newPerf)
+	if in.Overhead > 0 && !Beneficial(payback) {
+		return false, payback
+	}
+	if payback > p.PaybackThreshold {
+		return false, payback
+	}
+	appGain := newPerf/oldPerf - 1
+	if p.MinAppImprovement > 0 && appGain <= p.MinAppImprovement {
+		return false, payback
+	}
+	return true, payback
+}

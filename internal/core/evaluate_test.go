@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEvaluatePairBasics(t *testing.T) {
+	pol := Greedy()
+	rates := []float64{100, 300}
+	pair, ok := pol.EvaluatePair(
+		Candidate{ID: 0, Rate: 100}, Candidate{ID: 9, Rate: 200},
+		rates, 0, 60, 1, nil)
+	if !ok {
+		t.Fatal("beneficial pair rejected")
+	}
+	if pair.ProcGain != 1.0 {
+		t.Fatalf("ProcGain = %g", pair.ProcGain)
+	}
+	// App perf: bottleneck 100 -> 200 (other member at 300): gain 100%.
+	if math.Abs(pair.AppGain-1.0) > 1e-12 {
+		t.Fatalf("AppGain = %g", pair.AppGain)
+	}
+	if rates[0] != 100 {
+		t.Fatal("EvaluatePair mutated rates")
+	}
+}
+
+func TestEvaluatePairRejectsSlowerSpare(t *testing.T) {
+	pol := Greedy()
+	if _, ok := pol.EvaluatePair(
+		Candidate{ID: 0, Rate: 100}, Candidate{ID: 1, Rate: 100},
+		[]float64{100}, 0, 60, 1, nil); ok {
+		t.Fatal("equal-rate pair accepted")
+	}
+}
+
+func TestEvaluatePairGates(t *testing.T) {
+	rates := []float64{100}
+	out := Candidate{ID: 0, Rate: 100}
+	in := Candidate{ID: 1, Rate: 115}
+
+	// Safe rejects (15% < 20%).
+	if _, ok := Safe().EvaluatePair(out, in, rates, 0, 600, 0.1, nil); ok {
+		t.Fatal("safe accepted sub-threshold improvement")
+	}
+	// Friendly at 15% app gain accepts (> 2%).
+	if _, ok := Friendly().EvaluatePair(out, in, rates, 0, 600, 0.1, nil); !ok {
+		t.Fatal("friendly rejected a 15% bottleneck improvement")
+	}
+	// Payback gate: swap as long as the iteration with modest gain.
+	strict := Policy{Name: "strict", PaybackThreshold: 0.5}
+	if _, ok := strict.EvaluatePair(out, in, rates, 0, 60, 60, nil); ok {
+		t.Fatal("strict policy accepted slow payback")
+	}
+}
+
+// Property: Decide's result is exactly the greedy-pairing closure of
+// EvaluatePair — k accepted pairs means pair k+1 (if any) fails its gate
+// on the updated rates.
+func TestDecideConsistentWithEvaluatePair(t *testing.T) {
+	st := rng.NewSource(31).Stream("p")
+	pols := []Policy{Greedy(), Safe(), Friendly()}
+	f := func(nA, nS uint8) bool {
+		na := int(nA%6) + 1
+		ns := int(nS % 6)
+		var active, spare []Candidate
+		for i := 0; i < na; i++ {
+			active = append(active, Candidate{ID: i, Rate: st.Uniform(50, 800)})
+		}
+		for i := 0; i < ns; i++ {
+			spare = append(spare, Candidate{ID: 100 + i, Rate: st.Uniform(50, 800)})
+		}
+		iterTime, swapTime := 120.0, 5.0
+		for _, pol := range pols {
+			got := pol.Decide(DecideInput{
+				Active: active, Spare: spare, IterTime: iterTime, SwapTime: swapTime,
+			})
+			// Rebuild via EvaluatePair over sorted orders.
+			a := append([]Candidate(nil), active...)
+			s := append([]Candidate(nil), spare...)
+			sortCandidatesAsc(a)
+			sortCandidatesDesc(s)
+			rates := make([]float64, len(a))
+			for i, c := range a {
+				rates[i] = c.Rate
+			}
+			var want []SwapPair
+			for k := 0; k < len(a) && k < len(s); k++ {
+				pair, ok := pol.EvaluatePair(a[k], s[k], rates, k, iterTime, swapTime, nil)
+				if !ok {
+					break
+				}
+				want = append(want, pair)
+				rates[k] = s[k].Rate
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortCandidatesAsc(cs []Candidate) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func sortCandidatesDesc(cs []Candidate) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && lessDesc(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func less(a, b Candidate) bool {
+	if a.Rate != b.Rate {
+		return a.Rate < b.Rate
+	}
+	return a.ID < b.ID
+}
+
+func lessDesc(a, b Candidate) bool {
+	if a.Rate != b.Rate {
+		return a.Rate > b.Rate
+	}
+	return a.ID < b.ID
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The paper's worked example: iteration time and swap time both 10
+// seconds. Doubling performance pays back in 2 iterations; quadrupling in
+// 1⅓ — payback is deliberately not linear in the speedup.
+func ExamplePaybackDistance() {
+	fmt.Printf("%.2f\n", core.PaybackDistance(10, 10, 1, 2))
+	fmt.Printf("%.2f\n", core.PaybackDistance(10, 10, 1, 4))
+	// Output:
+	// 2.00
+	// 1.33
+}
+
+// A swap decision: the slowest active processor takes the fastest spare,
+// provided every gate of the policy passes.
+func ExamplePolicy_Decide() {
+	pol := core.Greedy()
+	swaps := pol.Decide(core.DecideInput{
+		Active: []core.Candidate{
+			{ID: 0, Rate: 100e6},
+			{ID: 1, Rate: 400e6},
+		},
+		Spare: []core.Candidate{
+			{ID: 7, Rate: 650e6},
+		},
+		IterTime: 120,
+		SwapTime: 0.17,
+	})
+	for _, s := range swaps {
+		fmt.Printf("move rank on host %d to host %d (gain %.0f%%, payback %.4f iters)\n",
+			s.Out.ID, s.In.ID, s.ProcGain*100, s.Payback)
+	}
+	// Output:
+	// move rank on host 0 to host 7 (gain 550%, payback 0.0017 iters)
+}
+
+// The safe policy refuses the same swap when the state is so large that
+// the cost cannot be recovered within half an iteration.
+func ExamplePolicy_Decide_safe() {
+	in := core.DecideInput{
+		Active:   []core.Candidate{{ID: 0, Rate: 100e6}},
+		Spare:    []core.Candidate{{ID: 7, Rate: 650e6}},
+		IterTime: 120,
+		SwapTime: 167, // a 1 GB process over a 6 MB/s link
+	}
+	fmt.Println("greedy swaps:", len(core.Greedy().Decide(in)))
+	fmt.Println("safe swaps:  ", len(core.Safe().Decide(in)))
+	// Output:
+	// greedy swaps: 1
+	// safe swaps:   0
+}

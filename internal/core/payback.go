@@ -1,0 +1,55 @@
+// Package core implements the contribution of the paper: the payback
+// algebra for MPI process swapping, the parameterized space of swapping
+// policies, the three concrete policies (greedy, safe, friendly), and the
+// decision engines that turn per-host performance estimates into swap or
+// relocation decisions.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PaybackDistance computes the paper's payback metric (Section 5): the
+// number of iterations, at the increased post-swap performance rate,
+// required to recover the cost of swapping:
+//
+//	payback = (swapTime / oldIterTime) * 1 / (1 - oldPerf/newPerf)
+//
+// The performance arguments may be any measure that increases with
+// application performance (e.g. flop rate). Following the paper: a
+// negative result means the swap has no benefit (newPerf < oldPerf); a
+// positive result is the break-even distance — the larger it is, the
+// longer the swap takes to pay off. newPerf == oldPerf yields +Inf (the
+// swap never pays for itself). Payback is not linear in the performance
+// increase: doubling performance with swapTime == oldIterTime gives 2
+// iterations, quadrupling gives 4/3.
+func PaybackDistance(swapTime, oldIterTime, oldPerf, newPerf float64) float64 {
+	if swapTime < 0 || oldIterTime <= 0 || oldPerf <= 0 || newPerf <= 0 {
+		panic(fmt.Sprintf("core: PaybackDistance(%g, %g, %g, %g)",
+			swapTime, oldIterTime, oldPerf, newPerf))
+	}
+	if newPerf == oldPerf {
+		return math.Inf(1)
+	}
+	return (swapTime / oldIterTime) / (1 - oldPerf/newPerf)
+}
+
+// SwapTime computes the paper's swap-cost model: transferring the process
+// state over a communication link with latency alpha (seconds) and
+// bandwidth beta (bytes/s):
+//
+//	swapTime = alpha + stateBytes/beta
+func SwapTime(alpha, beta, stateBytes float64) float64 {
+	if beta <= 0 || alpha < 0 || stateBytes < 0 {
+		panic(fmt.Sprintf("core: SwapTime(%g, %g, %g)", alpha, beta, stateBytes))
+	}
+	return alpha + stateBytes/beta
+}
+
+// Beneficial reports whether a payback distance indicates a net benefit:
+// positive and finite (the paper: "If the payback distance is negative,
+// there is no benefit").
+func Beneficial(payback float64) bool {
+	return payback > 0 && !math.IsInf(payback, 1)
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy is a point in the paper's swapping-policy parameter space
+// (Section 4.1). All four knobs gate whether a proposed swap is allowed:
+//
+//   - PaybackThreshold: a swap is allowed only if its payback distance is
+//     at most this many iterations. Smaller values are more risk-averse;
+//     +Inf disables the check.
+//   - MinProcImprovement: the swapped process's predicted performance gain
+//     must exceed this fraction ("swapping stiction").
+//   - MinAppImprovement: the whole application's predicted performance
+//     gain must exceed this fraction, preventing needless hoarding of
+//     fast processors. Zero disables the check (the paper's greedy and
+//     safe policies have "no minimum application improvement threshold").
+//   - HistoryWindow: how many seconds of performance history feed the
+//     per-host performance prediction ("swap frequency damping"). Zero
+//     means instantaneous measurements only.
+type Policy struct {
+	Name               string
+	PaybackThreshold   float64 // iterations
+	MinProcImprovement float64 // fraction, e.g. 0.2 = 20%
+	MinAppImprovement  float64 // fraction
+	HistoryWindow      float64 // seconds
+}
+
+// Greedy returns the paper's greedy policy: infinite payback threshold,
+// no improvement thresholds, no history. It "swaps processes if there is
+// any indication that application performance will increase".
+func Greedy() Policy {
+	return Policy{
+		Name:             "greedy",
+		PaybackThreshold: math.Inf(1),
+	}
+}
+
+// Safe returns the paper's safe policy: low payback threshold (0.5
+// iterations), high minimum process improvement (20%), no application
+// threshold, and a large amount of history (5 minutes). It swaps "only if
+// the benefit is significant and the potential downside to the
+// application is minimal".
+func Safe() Policy {
+	return Policy{
+		Name:               "safe",
+		PaybackThreshold:   0.5,
+		MinProcImprovement: 0.20,
+		HistoryWindow:      300,
+	}
+}
+
+// Friendly returns the paper's friendly policy: no process threshold, a
+// slight overall application improvement threshold (2%), and a moderate
+// amount of history (1 minute). It "promotes application performance, but
+// judiciously uses compute resources".
+func Friendly() Policy {
+	return Policy{
+		Name:              "friendly",
+		PaybackThreshold:  math.Inf(1),
+		MinAppImprovement: 0.02,
+		HistoryWindow:     60,
+	}
+}
+
+// Named returns the built-in policy with the given name.
+func Named(name string) (Policy, error) {
+	switch name {
+	case "greedy":
+		return Greedy(), nil
+	case "safe":
+		return Safe(), nil
+	case "friendly":
+		return Friendly(), nil
+	}
+	return Policy{}, fmt.Errorf("core: unknown policy %q (want greedy, safe or friendly)", name)
+}
+
+// Validate checks the parameters are in range.
+func (p Policy) Validate() error {
+	if p.PaybackThreshold < 0 || math.IsNaN(p.PaybackThreshold) {
+		return fmt.Errorf("core: policy %q: payback threshold %g", p.Name, p.PaybackThreshold)
+	}
+	if p.MinProcImprovement < 0 || p.MinAppImprovement < 0 {
+		return fmt.Errorf("core: policy %q: negative improvement threshold", p.Name)
+	}
+	if p.HistoryWindow < 0 {
+		return fmt.Errorf("core: policy %q: negative history window", p.Name)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	return fmt.Sprintf("%s{payback<=%g, proc>%g%%, app>%g%%, history=%gs}",
+		p.Name, p.PaybackThreshold, p.MinProcImprovement*100,
+		p.MinAppImprovement*100, p.HistoryWindow)
+}

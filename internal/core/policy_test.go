@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinPolicyParameters(t *testing.T) {
+	g := Greedy()
+	if !math.IsInf(g.PaybackThreshold, 1) || g.MinProcImprovement != 0 ||
+		g.MinAppImprovement != 0 || g.HistoryWindow != 0 {
+		t.Fatalf("greedy parameters wrong: %+v", g)
+	}
+	s := Safe()
+	if s.PaybackThreshold != 0.5 || s.MinProcImprovement != 0.20 ||
+		s.MinAppImprovement != 0 || s.HistoryWindow != 300 {
+		t.Fatalf("safe parameters wrong: %+v", s)
+	}
+	f := Friendly()
+	if !math.IsInf(f.PaybackThreshold, 1) || f.MinProcImprovement != 0 ||
+		f.MinAppImprovement != 0.02 || f.HistoryWindow != 60 {
+		t.Fatalf("friendly parameters wrong: %+v", f)
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range []string{"greedy", "safe", "friendly"} {
+		p, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("Named(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := Named("bogus"); err == nil {
+		t.Fatal("Named(bogus) did not error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Greedy()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("greedy invalid: %v", err)
+	}
+	bad := []Policy{
+		{PaybackThreshold: -1},
+		{MinProcImprovement: -0.1},
+		{MinAppImprovement: -0.1},
+		{HistoryWindow: -5},
+		{PaybackThreshold: math.NaN()},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d validated", i)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	s := Safe().String()
+	if !strings.Contains(s, "safe") || !strings.Contains(s, "20") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationsWellFormed(t *testing.T) {
+	for id, gen := range Ablations() {
+		fig := gen(quick())
+		if fig.ID != id {
+			t.Errorf("%s: ID = %q", id, fig.ID)
+		}
+		for _, s := range fig.Series {
+			cells := fig.Cells[s]
+			if len(cells) != len(fig.X) {
+				t.Errorf("%s/%s: %d cells for %d xs", id, s, len(cells), len(fig.X))
+				continue
+			}
+			for i, c := range cells {
+				if math.IsNaN(c.Mean) || c.Mean <= 0 {
+					t.Errorf("%s/%s[%d]: mean %g", id, s, i, c.Mean)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationIDsMatch(t *testing.T) {
+	abl := Ablations()
+	if len(AblationIDs()) != len(abl) {
+		t.Fatalf("AblationIDs has %d, Ablations has %d", len(AblationIDs()), len(abl))
+	}
+	for _, id := range AblationIDs() {
+		if _, ok := abl[id]; !ok {
+			t.Fatalf("missing generator for %q", id)
+		}
+	}
+}
+
+func TestAblationHistoryDampsThrashingWithLargeState(t *testing.T) {
+	// With 100 MB state, more history should not make things (much)
+	// worse, and zero history (pure greedy) must not beat long history
+	// by a large margin at this state size; with 1 MB state the damping
+	// hardly matters. This is a smoke check on the ablation's direction,
+	// with slack for stochastic noise.
+	fig := AblationHistory(fast())
+	large := fig.Cells["state-100MB"]
+	first, last := large[0].Mean, large[len(large)-1].Mean
+	if last > first*1.25 {
+		t.Errorf("long history hurt the 100MB case badly: %g -> %g", first, last)
+	}
+}
+
+func TestAblationPaybackStrictIsSaferWithBigState(t *testing.T) {
+	fig := AblationPayback(fast())
+	cells := fig.Cells["swap"]
+	// The strictest threshold must not be the worst point of the sweep
+	// (strictness = never paying for unamortizable swaps).
+	strict := cells[0].Mean
+	worst := strict
+	for _, c := range cells {
+		if c.Mean > worst {
+			worst = c.Mean
+		}
+	}
+	if strict == worst && worst > cells[0].Mean*1.001 {
+		t.Errorf("strictest payback threshold is the worst configuration")
+	}
+}
+
+func TestAblationSelectorPaperRuleAtLeastAsGood(t *testing.T) {
+	// The paper's slowest-fastest rule should generally beat random
+	// pairing; allow it to lose narrowly at isolated points.
+	fig := AblationSelector(fast())
+	losses := 0
+	for i := range fig.X {
+		if fig.Get("slowest-fastest", i).Mean > fig.Get("random", i).Mean*1.05 {
+			losses++
+		}
+	}
+	if losses > len(fig.X)/3 {
+		t.Errorf("paper's selection rule lost clearly at %d/%d points", losses, len(fig.X))
+	}
+}
+
+func TestAblationForecasterSeriesComplete(t *testing.T) {
+	fig := AblationForecaster(quick())
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %v", fig.Series)
+	}
+	// The exact estimator is interval-independent: constant across x.
+	exact := fig.Cells["exact"]
+	for i := 1; i < len(exact); i++ {
+		if exact[i].Mean != exact[0].Mean {
+			t.Errorf("exact estimator varied with probe interval: %g vs %g",
+				exact[i].Mean, exact[0].Mean)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package experiment defines the paper's experiments: for every figure in
+// the evaluation section (Figures 1–9) it provides a generator that runs
+// the corresponding parameter sweep on the simulator and returns the data
+// series the paper plots. It also provides the ablation sweeps called out
+// in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/loadgen"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/simkern"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// Options tunes experiment cost; the zero value is replaced by Defaults.
+type Options struct {
+	// Seeds is the number of independent repetitions averaged per point.
+	Seeds int
+	// BaseSeed roots all randomness.
+	BaseSeed int64
+	// Iterations is the application length in iterations.
+	Iterations int
+	// Quick shrinks sweeps (fewer x points) for use in benchmarks and
+	// smoke tests.
+	Quick bool
+	// Serial disables the parallel sweep runner. Results are identical
+	// either way (every run is seeded independently and aggregation
+	// order is fixed); Serial exists for debugging and for measuring
+	// the speedup itself.
+	Serial bool
+}
+
+// Defaults returns the options used to generate EXPERIMENTS.md.
+func Defaults() Options {
+	return Options{Seeds: 8, BaseSeed: 20030623, Iterations: 30}
+}
+
+func (o Options) fill() Options {
+	d := Defaults()
+	if o.Seeds == 0 {
+		o.Seeds = d.Seeds
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = d.BaseSeed
+	}
+	if o.Iterations == 0 {
+		o.Iterations = d.Iterations
+	}
+	return o
+}
+
+// Cell is one aggregated measurement (execution time in seconds unless a
+// figure says otherwise).
+type Cell struct {
+	Mean, CI95, Min, Max float64
+	N                    int
+}
+
+// FigureResult holds one reproduced figure: X values and one series of
+// cells per technique/policy.
+type FigureResult struct {
+	ID, Title, XLabel, YLabel string
+	Series                    []string
+	X                         []float64
+	Cells                     map[string][]Cell
+}
+
+// Get returns the cell for (series, xIndex).
+func (f *FigureResult) Get(series string, i int) Cell { return f.Cells[series][i] }
+
+// Table renders the figure as a table: one row per X, one column pair per
+// series.
+func (f *FigureResult) Table() *trace.Table {
+	t := &trace.Table{Title: fmt.Sprintf("%s: %s", f.ID, f.Title)}
+	t.Header = []string{f.XLabel}
+	for _, s := range f.Series {
+		t.Header = append(t.Header, s, s+"±")
+	}
+	for i, x := range f.X {
+		row := []string{trace.FormatFloat(x)}
+		for _, s := range f.Series {
+			c := f.Cells[s][i]
+			row = append(row, trace.FormatFloat(c.Mean), trace.FormatFloat(c.CI95))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Plot renders the figure as an ASCII chart of the series means.
+func (f *FigureResult) Plot() *trace.Plot {
+	p := &trace.Plot{
+		Title:  fmt.Sprintf("%s: %s", f.ID, f.Title),
+		XLabel: f.XLabel,
+		YLabel: f.YLabel,
+		X:      f.X,
+	}
+	for _, s := range f.Series {
+		ys := make([]float64, len(f.X))
+		for i := range f.X {
+			ys[i] = f.Cells[s][i].Mean
+		}
+		p.Series = append(p.Series, trace.PlotSeries{Name: s, Y: ys})
+	}
+	return p
+}
+
+// runSpec describes one simulated run.
+type runSpec struct {
+	hosts int
+	model loadgen.Model
+	tech  strategy.Technique
+	sc    strategy.Scenario
+	seed  int64
+}
+
+// runOne builds a fresh platform and executes the technique.
+func runOne(s runSpec) strategy.Result {
+	k := simkern.New()
+	p := platform.New(k, platform.Default(s.hosts, s.model), rng.NewSource(s.seed))
+	return s.tech.Run(p, s.sc)
+}
+
+// sweep runs a full figure grid: for every x and every named series,
+// build calls back to obtain the spec. Individual simulation runs are
+// independent (each derives its own seed), so the grid fans out across
+// all CPUs; results are accumulated in a fixed order so that parallel and
+// serial execution produce bit-identical figures.
+func sweep(o Options, fig *FigureResult, xs []float64, series []string,
+	build func(x float64, series string) runSpec) {
+	fig.X = xs
+	fig.Series = series
+	fig.Cells = map[string][]Cell{}
+
+	type job struct {
+		series string
+		xIdx   int
+		rep    int
+		spec   runSpec
+	}
+	var jobs []job
+	for _, s := range series {
+		fig.Cells[s] = make([]Cell, len(xs))
+		for i, x := range xs {
+			for rep := 0; rep < o.Seeds; rep++ {
+				spec := build(x, s)
+				spec.seed = o.BaseSeed + int64(rep)*7919
+				jobs = append(jobs, job{series: s, xIdx: i, rep: rep, spec: spec})
+			}
+		}
+	}
+
+	totals := make([]float64, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if o.Serial || workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				totals[idx] = runOne(jobs[idx].spec).TotalTime
+			}
+		}()
+	}
+	for idx := range jobs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	// Aggregate in job order: floating-point accumulation stays
+	// deterministic no matter which worker ran which job.
+	accs := map[string][]*stats.Accumulator{}
+	for _, s := range series {
+		accs[s] = make([]*stats.Accumulator, len(xs))
+		for i := range xs {
+			accs[s][i] = &stats.Accumulator{}
+		}
+	}
+	for idx, j := range jobs {
+		accs[j.series][j.xIdx].Add(totals[idx])
+	}
+	for _, s := range series {
+		for i := range xs {
+			a := accs[s][i]
+			fig.Cells[s][i] = Cell{
+				Mean: a.Mean(), CI95: a.CI95(), Min: a.Min(), Max: a.Max(), N: a.N(),
+			}
+		}
+	}
+}
+
+// dynamismGrid is the load-probability sweep used by Figures 4, 6, 7, 8.
+func dynamismGrid(quick bool) []float64 {
+	if quick {
+		return []float64{0.05, 0.2, 0.6}
+	}
+	return []float64{0, 0.025, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0}
+}
+
+// All returns every figure generator keyed by ID.
+func All() map[string]func(Options) *FigureResult {
+	return map[string]func(Options) *FigureResult{
+		"fig1": Fig1,
+		"fig2": Fig2,
+		"fig3": Fig3,
+		"fig4": Fig4,
+		"fig5": Fig5,
+		"fig6": Fig6,
+		"fig7": Fig7,
+		"fig8": Fig8,
+		"fig9": Fig9,
+	}
+}
+
+// IDs returns the figure IDs in order.
+func IDs() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+}

@@ -1,0 +1,299 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fast options keep the full grids but few repetitions; shape assertions
+// below use generous margins accordingly.
+func fast() Options { return Options{Seeds: 4, Iterations: 25, BaseSeed: 20030623} }
+
+// quick options shrink grids too, for the cheapest smoke checks.
+func quick() Options { o := fast(); o.Quick = true; return o }
+
+func TestAllFiguresProduceWellFormedResults(t *testing.T) {
+	for id, gen := range All() {
+		fig := gen(quick())
+		if fig.ID != id {
+			t.Errorf("%s: ID = %q", id, fig.ID)
+		}
+		if len(fig.X) == 0 || len(fig.Series) == 0 {
+			t.Errorf("%s: empty result", id)
+			continue
+		}
+		for _, s := range fig.Series {
+			cells, ok := fig.Cells[s]
+			if !ok || len(cells) != len(fig.X) {
+				t.Errorf("%s: series %q has %d cells for %d xs", id, s, len(cells), len(fig.X))
+				continue
+			}
+			for i, c := range cells {
+				if math.IsNaN(c.Mean) || c.Mean < 0 {
+					t.Errorf("%s/%s[%d]: mean %g", id, s, i, c.Mean)
+				}
+			}
+		}
+	}
+}
+
+func TestIDsMatchAll(t *testing.T) {
+	all := All()
+	if len(IDs()) != len(all) {
+		t.Fatalf("IDs has %d entries, All has %d", len(IDs()), len(all))
+	}
+	for _, id := range IDs() {
+		if _, ok := all[id]; !ok {
+			t.Fatalf("IDs lists %q which All lacks", id)
+		}
+	}
+}
+
+func TestFig1PaybackGeometry(t *testing.T) {
+	fig := Fig1(Options{})
+	// The paper's example: payback distance is exactly 2 iterations.
+	if pb := fig.Cells["payback_iters"][0].Mean; pb != 2 {
+		t.Fatalf("payback = %g, want 2", pb)
+	}
+	// Progress curves: equal until the swap at t=30, swap flat during
+	// [30,40], and the curves cross again exactly at t=50 (payback).
+	for i, x := range fig.X {
+		ns := fig.Cells["no-swap"][i].Mean
+		sw := fig.Cells["swap"][i].Mean
+		switch {
+		case x <= 30:
+			if ns != sw {
+				t.Fatalf("curves differ before swap at t=%g", x)
+			}
+		case x < 50:
+			if sw >= ns {
+				t.Fatalf("swap should trail before payback at t=%g: %g vs %g", x, sw, ns)
+			}
+		case x == 50:
+			if math.Abs(sw-ns) > 1e-9 {
+				t.Fatalf("curves must cross at t=50: %g vs %g", sw, ns)
+			}
+		case x > 50:
+			if sw <= ns {
+				t.Fatalf("swap should lead after payback at t=%g", x)
+			}
+		}
+	}
+}
+
+func TestFig2TraceIsBinary(t *testing.T) {
+	fig := Fig2(quick())
+	for i, c := range fig.Cells["load"] {
+		if c.Mean != 0 && c.Mean != 1 {
+			t.Fatalf("ON/OFF sample %d = %g", i, c.Mean)
+		}
+	}
+}
+
+func TestFig3TraceHasOverlap(t *testing.T) {
+	o := fast() // full horizon so overlaps have room to appear
+	fig := Fig3(o)
+	saw := 0.0
+	for _, c := range fig.Cells["load"] {
+		if c.Mean > saw {
+			saw = c.Mean
+		}
+	}
+	if saw < 2 {
+		t.Fatalf("hyperexponential trace max level %g, want >= 2", saw)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	fig := Fig4(fast())
+	// Quiescent extreme: all techniques within noise of each other
+	// (none == swap == cr exactly: no load, no action).
+	n0 := fig.Get("none", 0).Mean
+	for _, s := range []string{"swap", "cr"} {
+		if math.Abs(fig.Get(s, 0).Mean-n0) > 1e-6*n0 {
+			t.Errorf("at p=0, %s = %g but none = %g", s, fig.Get(s, 0).Mean, n0)
+		}
+	}
+	// Moderate dynamism: swap, dlb and cr all beat none by a clear
+	// margin somewhere in the sweep.
+	for _, s := range []string{"swap", "dlb", "cr"} {
+		best := 1.0
+		for i := range fig.X {
+			r := fig.Get(s, i).Mean / fig.Get("none", i).Mean
+			if r < best {
+				best = r
+			}
+		}
+		if best > 0.9 {
+			t.Errorf("%s never beat none by 10%%: best ratio %g", s, best)
+		}
+	}
+	// Chaotic extreme: the techniques converge (within 25%).
+	last := len(fig.X) - 1
+	nL := fig.Get("none", last).Mean
+	for _, s := range []string{"swap", "dlb", "cr"} {
+		r := fig.Get(s, last).Mean / nL
+		if r < 0.7 || r > 1.3 {
+			t.Errorf("at p=1, %s/none = %g, want near 1", s, r)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	fig := Fig5(fast())
+	firstIdx, lastIdx := 0, len(fig.X)-1
+	// With zero over-allocation swap == none (no spares).
+	if math.Abs(fig.Get("swap", firstIdx).Mean-fig.Get("none", firstIdx).Mean) > 1e-6*fig.Get("none", firstIdx).Mean {
+		t.Errorf("swap != none at 0%% over-allocation")
+	}
+	// Swap and CR must improve substantially with over-allocation.
+	for _, s := range []string{"swap", "cr"} {
+		improvement := fig.Get(s, firstIdx).Mean / fig.Get(s, lastIdx).Mean
+		if improvement < 1.2 {
+			t.Errorf("%s only improved %gx from 0%% to 300%% over-allocation", s, improvement)
+		}
+	}
+	// DLB consistently outperforms NONE.
+	worse := 0
+	for i := range fig.X {
+		if fig.Get("dlb", i).Mean > fig.Get("none", i).Mean*1.02 {
+			worse++
+		}
+	}
+	if worse > 1 {
+		t.Errorf("dlb worse than none at %d/%d points", worse, len(fig.X))
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	fig := Fig6(fast())
+	// 1MB swap must be beneficial somewhere; 1GB swap must be harmful
+	// (worse than none) in dynamic environments.
+	bestSmall, worst1GB := 1.0, 1.0
+	for i := range fig.X {
+		n := fig.Get("none", i).Mean
+		if r := fig.Get("swap-1MB", i).Mean / n; r < bestSmall {
+			bestSmall = r
+		}
+		if r := fig.Get("swap-1GB", i).Mean / n; r > worst1GB {
+			worst1GB = r
+		}
+	}
+	if bestSmall > 0.9 {
+		t.Errorf("swap-1MB never clearly beneficial: best ratio %g", bestSmall)
+	}
+	if worst1GB < 1.1 {
+		t.Errorf("swap-1GB never clearly harmful: worst ratio %g", worst1GB)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	fig := Fig7(fast())
+	// Greedy gives the largest boost somewhere in the moderate range.
+	bestGreedy := 1.0
+	for i := range fig.X {
+		if r := fig.Get("greedy", i).Mean / fig.Get("none", i).Mean; r < bestGreedy {
+			bestGreedy = r
+		}
+	}
+	if bestGreedy > 0.92 {
+		t.Errorf("greedy never gave a clear boost: best ratio %g", bestGreedy)
+	}
+	// In the most chaotic environment, safe outperforms greedy.
+	last := len(fig.X) - 1
+	if fig.Get("safe", last).Mean >= fig.Get("greedy", last).Mean {
+		t.Errorf("at p=1 safe (%g) should beat greedy (%g)",
+			fig.Get("safe", last).Mean, fig.Get("greedy", last).Mean)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	fig := Fig8(fast())
+	// With 1 GB state, safe must never swap: identical to none.
+	for i := range fig.X {
+		if math.Abs(fig.Get("safe", i).Mean-fig.Get("none", i).Mean) > 1e-6*fig.Get("none", i).Mean {
+			t.Fatalf("safe differs from none at x=%g with 1GB state", fig.X[i])
+		}
+	}
+	// Greedy thrashes: clearly worse than none in dynamic environments.
+	last := len(fig.X) - 1
+	if fig.Get("greedy", last).Mean < fig.Get("none", last).Mean*1.3 {
+		t.Errorf("greedy with 1GB state insufficiently harmful: %g vs none %g",
+			fig.Get("greedy", last).Mean, fig.Get("none", last).Mean)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	fig := Fig9(fast())
+	// Swapping remains viable under the hyperexponential model: swap
+	// beats none at every lifetime beyond the shortest.
+	for i := 1; i < len(fig.X); i++ {
+		if fig.Get("swap", i).Mean >= fig.Get("none", i).Mean {
+			t.Errorf("swap (%g) not beneficial at lifetime %g (none %g)",
+				fig.Get("swap", i).Mean, fig.X[i], fig.Get("none", i).Mean)
+		}
+	}
+	// Longer lifetimes widen the benefit.
+	first := fig.Get("none", 0).Mean - fig.Get("swap", 0).Mean
+	last := fig.Get("none", len(fig.X)-1).Mean - fig.Get("swap", len(fig.X)-1).Mean
+	if last <= first {
+		t.Errorf("benefit did not grow with lifetime: %g -> %g", first, last)
+	}
+}
+
+func TestFigureTableRendering(t *testing.T) {
+	fig := Fig4(quick())
+	tbl := fig.Table()
+	if len(tbl.Rows) != len(fig.X) {
+		t.Fatalf("table rows %d != xs %d", len(tbl.Rows), len(fig.X))
+	}
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fig4") {
+		t.Fatal("table missing title")
+	}
+}
+
+func TestOptionsFill(t *testing.T) {
+	o := Options{}.fill()
+	d := Defaults()
+	if o.Seeds != d.Seeds || o.Iterations != d.Iterations || o.BaseSeed != d.BaseSeed {
+		t.Fatalf("fill() = %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{Seeds: 2, Iterations: 3, BaseSeed: 4}.fill()
+	if o2.Seeds != 2 || o2.Iterations != 3 || o2.BaseSeed != 4 {
+		t.Fatalf("fill clobbered explicit options: %+v", o2)
+	}
+}
+
+func TestParallelAndSerialSweepsAgree(t *testing.T) {
+	par := quick()
+	ser := quick()
+	ser.Serial = true
+	a := Fig4(par)
+	b := Fig4(ser)
+	for _, s := range a.Series {
+		for i := range a.X {
+			if a.Get(s, i) != b.Get(s, i) {
+				t.Fatalf("parallel vs serial differ at %s[%d]: %+v vs %+v",
+					s, i, a.Get(s, i), b.Get(s, i))
+			}
+		}
+	}
+}
+
+func TestResultsAreReproducible(t *testing.T) {
+	a := Fig4(quick())
+	b := Fig4(quick())
+	for _, s := range a.Series {
+		for i := range a.X {
+			if a.Get(s, i).Mean != b.Get(s, i).Mean {
+				t.Fatalf("fig4 %s[%d] differs across runs", s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package experiment
+
+import "testing"
+
+func TestExtensionsWellFormed(t *testing.T) {
+	for id, gen := range Extensions() {
+		fig := gen(quick())
+		if fig.ID != id {
+			t.Errorf("%s: ID = %q", id, fig.ID)
+		}
+		for _, s := range fig.Series {
+			if len(fig.Cells[s]) != len(fig.X) {
+				t.Errorf("%s/%s: malformed", id, s)
+			}
+		}
+	}
+	if len(ExtensionIDs()) != len(Extensions()) {
+		t.Fatal("ExtensionIDs out of sync")
+	}
+}
+
+func TestReclamationStudyShape(t *testing.T) {
+	fig := ExtReclamation(fast())
+	last := len(fig.X) - 1
+	// With heavy reclamation, doing nothing must be catastrophically
+	// worse than swapping.
+	n := fig.Get("none", last).Mean
+	s := fig.Get("swap", last).Mean
+	if n < 3*s {
+		t.Errorf("reclamation: none (%g) should dwarf swap (%g)", n, s)
+	}
+	// With no reclamation, the two are in the same regime.
+	if r := fig.Get("none", 0).Mean / fig.Get("swap", 0).Mean; r > 2 {
+		t.Errorf("at p=0 none/swap = %g, want < 2", r)
+	}
+	// Swapping must degrade gracefully: even at the worst point it stays
+	// within an order of magnitude of its unreclaimed time.
+	if fig.Get("swap", last).Mean > 10*fig.Get("swap", 0).Mean {
+		t.Errorf("swap collapsed under reclamation: %g vs %g",
+			fig.Get("swap", last).Mean, fig.Get("swap", 0).Mean)
+	}
+}

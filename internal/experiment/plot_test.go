@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigurePlotRendering(t *testing.T) {
+	fig := Fig4(quick())
+	p := fig.Plot()
+	if len(p.Series) != len(fig.Series) {
+		t.Fatalf("plot has %d series for %d", len(p.Series), len(fig.Series))
+	}
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, s := range fig.Series {
+		if !strings.Contains(out, s) {
+			t.Fatalf("legend missing %q:\n%s", s, out)
+		}
+	}
+	if !strings.Contains(out, "load_probability") {
+		t.Fatalf("axis label missing:\n%s", out)
+	}
+}
+
+func TestFig1PlotHasThreeSeries(t *testing.T) {
+	p := Fig1(Options{}).Plot()
+	if len(p.Series) != 3 {
+		t.Fatalf("series = %d", len(p.Series))
+	}
+}

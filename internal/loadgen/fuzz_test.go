@@ -1,0 +1,49 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceCSV checks the trace parser never panics and that every
+// accepted trace round-trips through WriteTraceCSV.
+func FuzzParseTraceCSV(f *testing.F) {
+	f.Add("start_s,competing_processes\n0,0\n10,2\n")
+	f.Add("0,1\n")
+	f.Add("# comment\n5.5,3\n6,0\n")
+	f.Add("")
+	f.Add("a,b\n")
+	f.Add("0,0\n0,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		segs, tail, err := ParseTraceCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input: must be replayable and round-trippable.
+		for _, s := range segs {
+			if s.Dur <= 0 || s.N < 0 {
+				t.Fatalf("accepted invalid segment %+v", s)
+			}
+		}
+		var b strings.Builder
+		if err := WriteTraceCSV(&b, segs, tail); err != nil {
+			t.Fatal(err)
+		}
+		segs2, tail2, err := ParseTraceCSV(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if tail2 != tail || len(segs2) != len(segs) {
+			t.Fatalf("round trip changed shape: %v/%d vs %v/%d", segs2, tail2, segs, tail)
+		}
+		for i := range segs {
+			if segs2[i] != segs[i] {
+				t.Fatalf("round trip changed segment %d", i)
+			}
+		}
+		// The trace must be queryable without panicking.
+		tr := NewTrace(Replay{Segments: segs, Tail: tail}.NewSource(nil, 0))
+		_ = tr.ValueAt(0)
+		_ = tr.MeanAvail(0, 100)
+	})
+}

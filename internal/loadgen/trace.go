@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Trace materializes a Source into a queryable piecewise-constant
+// function of time, extended lazily as later times are queried. Equal
+// consecutive segments are merged. Times are seconds from 0.
+type Trace struct {
+	src    Source
+	starts []float64 // starts[i] is when vals[i] begins
+	vals   []int
+	end    float64 // time up to which the trace is materialized
+	hint   int     // last segment index used, for monotonic access
+}
+
+// NewTrace wraps src. The trace begins at time 0.
+func NewTrace(src Source) *Trace {
+	return &Trace{src: src, starts: []float64{0}, vals: []int{0}, end: 0}
+}
+
+// extendTo materializes segments so the trace covers time t.
+func (tr *Trace) extendTo(t float64) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("loadgen: trace query at %g", t))
+	}
+	for tr.end <= t {
+		seg := tr.src.Next()
+		if seg.Dur <= 0 {
+			panic(fmt.Sprintf("loadgen: source produced non-positive segment duration %g", seg.Dur))
+		}
+		if len(tr.vals) > 0 && tr.vals[len(tr.vals)-1] == seg.N && tr.end > 0 {
+			// Merge with previous equal-valued segment.
+			tr.end += seg.Dur
+			continue
+		}
+		if tr.end == 0 {
+			// Replace the placeholder first segment.
+			tr.vals[0] = seg.N
+			tr.end = seg.Dur
+			continue
+		}
+		tr.starts = append(tr.starts, tr.end)
+		tr.vals = append(tr.vals, seg.N)
+		tr.end += seg.Dur
+	}
+}
+
+// seg returns the index of the segment containing time t, extending the
+// trace as needed. Negative t panics.
+func (tr *Trace) seg(t float64) int {
+	if t < 0 {
+		panic(fmt.Sprintf("loadgen: trace query at negative time %g", t))
+	}
+	tr.extendTo(t)
+	// Fast path: monotonic access near the previous query.
+	i := tr.hint
+	if i < len(tr.starts) && tr.starts[i] <= t {
+		for i+1 < len(tr.starts) && tr.starts[i+1] <= t {
+			i++
+			if i > tr.hint+8 {
+				i = -1 // too far; fall back to binary search
+				break
+			}
+		}
+		if i >= 0 {
+			tr.hint = i
+			return i
+		}
+	}
+	i = sort.SearchFloat64s(tr.starts, t)
+	// SearchFloat64s returns the first index with starts[i] >= t; the
+	// containing segment is the one before, unless exactly at a start.
+	if i == len(tr.starts) || tr.starts[i] > t {
+		i--
+	}
+	tr.hint = i
+	return i
+}
+
+// ValueAt reports the number of competing processes at time t.
+func (tr *Trace) ValueAt(t float64) int { return tr.vals[tr.seg(t)] }
+
+// NextChange reports the end of the segment containing t — the earliest
+// time strictly after t at which the load level may change.
+func (tr *Trace) NextChange(t float64) float64 {
+	i := tr.seg(t)
+	if i+1 < len(tr.starts) {
+		return tr.starts[i+1]
+	}
+	// t falls in the last materialized segment; materialize one more.
+	tr.extendTo(tr.end)
+	if i+1 < len(tr.starts) {
+		return tr.starts[i+1]
+	}
+	return tr.end
+}
+
+// MeanAvail reports the time-average of 1/(1+n(t)) over [t0, t1], the
+// fraction of the CPU a single fair-shared process receives. For t0 == t1
+// it reports the instantaneous availability at t0.
+func (tr *Trace) MeanAvail(t0, t1 float64) float64 {
+	if t1 < t0 {
+		panic(fmt.Sprintf("loadgen: MeanAvail interval inverted [%g, %g]", t0, t1))
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	if t1 <= t0 {
+		return 1 / (1 + float64(tr.ValueAt(t0)))
+	}
+	tr.extendTo(t1)
+	total := 0.0
+	t := t0
+	for t < t1 {
+		i := tr.seg(t)
+		segEnd := tr.end
+		if i+1 < len(tr.starts) {
+			segEnd = tr.starts[i+1]
+		}
+		upto := math.Min(segEnd, t1)
+		total += (upto - t) / (1 + float64(tr.vals[i]))
+		t = upto
+	}
+	return total / (t1 - t0)
+}
+
+// MeanLoad reports the time-average competing-process count over [t0, t1].
+func (tr *Trace) MeanLoad(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return float64(tr.ValueAt(t0))
+	}
+	tr.extendTo(t1)
+	total := 0.0
+	t := t0
+	for t < t1 {
+		i := tr.seg(t)
+		segEnd := tr.end
+		if i+1 < len(tr.starts) {
+			segEnd = tr.starts[i+1]
+		}
+		upto := math.Min(segEnd, t1)
+		total += (upto - t) * float64(tr.vals[i])
+		t = upto
+	}
+	return total / (t1 - t0)
+}
+
+// Sample returns the load level at regular interval points in [0, horizon]
+// — the series plotted in the paper's Figures 2 and 3.
+func (tr *Trace) Sample(horizon, interval float64) []int {
+	if interval <= 0 {
+		panic("loadgen: Sample interval must be positive")
+	}
+	var out []int
+	for t := 0.0; t <= horizon; t += interval {
+		out = append(out, tr.ValueAt(t))
+	}
+	return out
+}
+
+// Segments returns a copy of the materialized segments covering at least
+// [0, horizon]: parallel slices of start times and values.
+func (tr *Trace) Segments(horizon float64) (starts []float64, vals []int) {
+	tr.extendTo(horizon)
+	return append([]float64(nil), tr.starts...), append([]int(nil), tr.vals...)
+}

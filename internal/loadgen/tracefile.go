@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Trace-file support: the paper's future-work direction of driving the
+// simulation with measured CPU load traces. The format is the
+// change-point CSV that cmd/loadtrace emits:
+//
+//	# optional comment lines
+//	start_s,competing_processes
+//	0,0
+//	37.5,1
+//	120,0
+//
+// Rows give the time at which the competing-process count changes; rows
+// must be in increasing time order and the first row should start at 0
+// (an implicit leading 0-load segment is inserted otherwise).
+
+// ParseTraceCSV reads a change-point CSV into segments plus the final
+// (tail) level that holds after the last change point.
+func ParseTraceCSV(r io.Reader) (segs []Segment, tail int, err error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = 2
+	type point struct {
+		t float64
+		n int
+	}
+	var pts []point
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("loadgen: trace CSV: %w", err)
+		}
+		// Skip a header row.
+		if strings.EqualFold(strings.TrimSpace(rec[0]), "start_s") ||
+			strings.EqualFold(strings.TrimSpace(rec[0]), "time_s") {
+			continue
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("loadgen: trace CSV time %q: %w", rec[0], err)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(rec[1]))
+		if err != nil {
+			return nil, 0, fmt.Errorf("loadgen: trace CSV level %q: %w", rec[1], err)
+		}
+		if t < 0 || n < 0 {
+			return nil, 0, fmt.Errorf("loadgen: trace CSV negative value at t=%g", t)
+		}
+		pts = append(pts, point{t, n})
+	}
+	if len(pts) == 0 {
+		return nil, 0, fmt.Errorf("loadgen: empty trace CSV")
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].t < pts[j].t }) {
+		return nil, 0, fmt.Errorf("loadgen: trace CSV times not increasing")
+	}
+	if pts[0].t > 0 {
+		pts = append([]point{{0, 0}}, pts...)
+	}
+	for i := 0; i < len(pts)-1; i++ {
+		dur := pts[i+1].t - pts[i].t
+		if dur <= 0 {
+			return nil, 0, fmt.Errorf("loadgen: trace CSV duplicate time %g", pts[i+1].t)
+		}
+		segs = append(segs, Segment{Dur: dur, N: pts[i].n})
+	}
+	return segs, pts[len(pts)-1].n, nil
+}
+
+// WriteTraceCSV writes segments (and the tail level) in the change-point
+// CSV format ParseTraceCSV reads.
+func WriteTraceCSV(w io.Writer, segs []Segment, tail int) error {
+	if _, err := fmt.Fprintln(w, "start_s,competing_processes"); err != nil {
+		return err
+	}
+	t := 0.0
+	for _, s := range segs {
+		if _, err := fmt.Fprintf(w, "%g,%d\n", t, s.N); err != nil {
+			return err
+		}
+		t += s.Dur
+	}
+	_, err := fmt.Fprintf(w, "%g,%d\n", t, tail)
+	return err
+}
+
+// TraceSet is a load model backed by recorded traces: host i replays
+// Traces[i mod len(Traces)]. Use ParseTraceCSV to build the entries.
+type TraceSet struct {
+	Traces []Replay
+}
+
+// Describe implements Model.
+func (m TraceSet) Describe() string { return fmt.Sprintf("traceset(%d traces)", len(m.Traces)) }
+
+// NewSource implements Model.
+func (m TraceSet) NewSource(src *rng.Source, host int) Source {
+	if len(m.Traces) == 0 {
+		panic("loadgen: TraceSet with no traces")
+	}
+	return m.Traces[host%len(m.Traces)].NewSource(src, host)
+}

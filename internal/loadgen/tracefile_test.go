@@ -1,0 +1,108 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestParseTraceCSV(t *testing.T) {
+	in := `# comment
+start_s,competing_processes
+0,0
+10,2
+25.5,1
+`
+	segs, tail, err := ParseTraceCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail != 1 {
+		t.Fatalf("tail = %d", tail)
+	}
+	want := []Segment{{Dur: 10, N: 0}, {Dur: 15.5, N: 2}}
+	if len(segs) != len(want) {
+		t.Fatalf("segs = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segs = %v, want %v", segs, want)
+		}
+	}
+}
+
+func TestParseTraceCSVImplicitLeadingIdle(t *testing.T) {
+	segs, tail, err := ParseTraceCSV(strings.NewReader("5,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != (Segment{Dur: 5, N: 0}) || tail != 3 {
+		t.Fatalf("segs=%v tail=%d", segs, tail)
+	}
+}
+
+func TestParseTraceCSVErrors(t *testing.T) {
+	bad := []string{
+		"",            // empty
+		"abc,1\n",     // bad time
+		"0,x\n",       // bad level
+		"10,1\n5,0\n", // not increasing
+		"0,1\n0,2\n",  // duplicate time
+		"-1,1\n",      // negative time
+		"0,-2\n",      // negative level
+		"0,1,extra\n", // wrong width
+	}
+	for _, in := range bad {
+		if _, _, err := ParseTraceCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("parsed invalid trace %q", in)
+		}
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	segs := []Segment{{Dur: 3, N: 1}, {Dur: 7.25, N: 0}, {Dur: 2, N: 4}}
+	var b strings.Builder
+	if err := WriteTraceCSV(&b, segs, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, tail, err := ParseTraceCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail != 2 || len(got) != len(segs) {
+		t.Fatalf("round trip: %v tail=%d", got, tail)
+	}
+	for i := range segs {
+		if got[i] != segs[i] {
+			t.Fatalf("round trip segs = %v, want %v", got, segs)
+		}
+	}
+}
+
+func TestTraceSetCyclesHosts(t *testing.T) {
+	m := TraceSet{Traces: []Replay{
+		{Segments: []Segment{{Dur: 10, N: 1}}, Tail: 0},
+		{Segments: []Segment{{Dur: 10, N: 5}}, Tail: 0},
+	}}
+	src := rng.NewSource(1)
+	for host := 0; host < 4; host++ {
+		tr := NewTrace(m.NewSource(src, host))
+		want := 1
+		if host%2 == 1 {
+			want = 5
+		}
+		if got := tr.ValueAt(5); got != want {
+			t.Fatalf("host %d level %d, want %d", host, got, want)
+		}
+	}
+}
+
+func TestTraceSetEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TraceSet{}.NewSource(rng.NewSource(1), 0)
+}

@@ -1,0 +1,388 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// worldCommID identifies the world communicator.
+const worldCommID uint64 = 0
+
+// Reserved internal tags (user tags must be non-negative).
+const (
+	tagBarrierIn  = -2
+	tagBarrierOut = -3
+	tagBcast      = -4
+	tagGather     = -5
+	tagReduce     = -6
+	tagSplit      = -7
+)
+
+// Comm is a communicator: an ordered group of world ranks with an ID that
+// scopes message matching. Comm values are cheap rank-local descriptors;
+// as long as every member constructs the group from the same information,
+// no handshake is needed (which is what lets the swapping runtime rebuild
+// its private "active" communicator without involving parked spares).
+type Comm struct {
+	w       *World
+	me      int // world rank of the owner
+	id      uint64
+	members []int // world ranks, in comm-rank order
+}
+
+// Rank reports the calling process's rank within the communicator, or -1
+// if it is not a member.
+func (c *Comm) Rank() int {
+	for i, m := range c.members {
+		if m == c.me {
+			return i
+		}
+	}
+	return -1
+}
+
+// Size reports the communicator size.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Members returns a copy of the member list (world ranks in comm order).
+func (c *Comm) Members() []int { return append([]int(nil), c.members...) }
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
+
+// ID reports the communicator ID (for diagnostics).
+func (c *Comm) ID() uint64 { return c.id }
+
+func (c *Comm) checkMember() {
+	if c.Rank() < 0 {
+		panic(fmt.Sprintf("mpi: world rank %d is not a member of comm %#x", c.me, c.id))
+	}
+}
+
+func (c *Comm) checkTag(tag int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be non-negative, got %d", tag))
+	}
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int // comm rank of the sender
+	Tag    int
+}
+
+// Send sends data to the comm rank `to` with the given tag. It does not
+// wait for the receiver (buffered, eager semantics).
+func (c *Comm) Send(to, tag int, data []byte) error {
+	c.checkMember()
+	c.checkTag(tag)
+	return c.send(to, tag, data)
+}
+
+// send is Send without the user-tag restriction, for collectives.
+func (c *Comm) send(to, tag int, data []byte) error {
+	if to < 0 || to >= len(c.members) {
+		return fmt.Errorf("mpi: send to comm rank %d of %d", to, len(c.members))
+	}
+	d := append([]byte(nil), data...)
+	return c.w.transport.send(envelope{
+		Comm: c.id, Src: c.me, Dst: c.members[to], Tag: tag, Data: d,
+	})
+}
+
+// Recv blocks until a message from comm rank `from` (or AnySource) with
+// the given tag (or AnyTag) arrives.
+func (c *Comm) Recv(from, tag int) ([]byte, Status, error) {
+	c.checkMember()
+	if tag != AnyTag {
+		c.checkTag(tag)
+	}
+	return c.recv(from, tag)
+}
+
+func (c *Comm) recv(from, tag int) ([]byte, Status, error) {
+	srcWorld := AnySource
+	if from != AnySource {
+		if from < 0 || from >= len(c.members) {
+			return nil, Status{}, fmt.Errorf("mpi: recv from comm rank %d of %d", from, len(c.members))
+		}
+		srcWorld = c.members[from]
+	}
+	env, err := c.w.boxes[c.me].pop(c.id, srcWorld, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	src := -1
+	for i, m := range c.members {
+		if m == env.Src {
+			src = i
+			break
+		}
+	}
+	return env.Data, Status{Source: src, Tag: env.Tag}, nil
+}
+
+// Barrier blocks until every member has entered it.
+func (c *Comm) Barrier() error {
+	c.checkMember()
+	me := c.Rank()
+	if me == 0 {
+		for i := 1; i < c.Size(); i++ {
+			if _, _, err := c.recv(AnySource, tagBarrierIn); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < c.Size(); i++ {
+			if err := c.send(i, tagBarrierOut, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.send(0, tagBarrierIn, nil); err != nil {
+		return err
+	}
+	_, _, err := c.recv(0, tagBarrierOut)
+	return err
+}
+
+// Bcast broadcasts root's data to every member along a binomial tree and
+// returns the received copy (root returns its own data).
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	c.checkMember()
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpi: bcast root %d of %d", root, n)
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vrank := (c.Rank() - root + n) % n
+	if vrank != 0 {
+		// Receive from the exact binomial-tree parent (virtual rank
+		// vrank - msb(vrank)); matching on the exact source keeps
+		// back-to-back collectives from cross-matching.
+		msb := 1
+		for msb<<1 <= vrank {
+			msb <<= 1
+		}
+		parent := (vrank - msb + root) % n
+		got, _, err := c.recv(parent, tagBcast)
+		if err != nil {
+			return nil, err
+		}
+		data = got
+	}
+	// Binomial tree: in the round with distance `mask`, every virtual
+	// rank below mask relays to vrank+mask. A rank starts relaying in
+	// the first round after the one it received in (its msb) and keeps
+	// relaying in every later round.
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank < mask && vrank+mask < n {
+			dst := (vrank + mask + root) % n
+			if err := c.send(dst, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Gather collects each member's data at root; root receives a slice
+// indexed by comm rank, others receive nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	c.checkMember()
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpi: gather root %d of %d", root, n)
+	}
+	if c.Rank() != root {
+		return nil, c.send(root, tagGather, data)
+	}
+	out := make([][]byte, n)
+	out[root] = append([]byte(nil), data...)
+	// Receive from each member explicitly: per-pair FIFO then guarantees
+	// that consecutive Gathers cannot cross-match.
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		got, _, err := c.recv(i, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = got
+	}
+	return out, nil
+}
+
+// ReduceOp combines two float64 values.
+type ReduceOp func(a, b float64) float64
+
+// Predefined reduce operations.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMin ReduceOp = math.Min
+	OpMax ReduceOp = math.Max
+)
+
+// ReduceFloat64 reduces each member's x at root with op; root gets the
+// result, others get 0.
+func (c *Comm) ReduceFloat64(root int, op ReduceOp, x float64) (float64, error) {
+	c.checkMember()
+	if c.Rank() != root {
+		return 0, c.send(root, tagReduce, encodeFloat(x))
+	}
+	acc := x
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		got, _, err := c.recv(i, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		acc = op(acc, decodeFloat(got))
+	}
+	return acc, nil
+}
+
+// AllReduceFloat64 reduces x across all members and distributes the
+// result to everyone.
+func (c *Comm) AllReduceFloat64(op ReduceOp, x float64) (float64, error) {
+	v, err := c.ReduceFloat64(0, op, x)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.Bcast(0, encodeFloat(v))
+	if err != nil {
+		return 0, err
+	}
+	return decodeFloat(out), nil
+}
+
+// AllGatherFloat64 gathers one float from each member and distributes the
+// full comm-rank-indexed vector to everyone.
+func (c *Comm) AllGatherFloat64(x float64) ([]float64, error) {
+	parts, err := c.Gather(0, encodeFloat(x))
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.Rank() == 0 {
+		packed = make([]byte, 0, 8*len(parts))
+		for _, p := range parts {
+			packed = append(packed, p...)
+		}
+	}
+	packed, err = c.Bcast(0, packed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(packed)/8)
+	for i := range out {
+		out[i] = decodeFloat(packed[i*8 : i*8+8])
+	}
+	return out, nil
+}
+
+// Split partitions the communicator like MPI_Comm_split: members with the
+// same color form a new communicator, ordered by (key, old rank). Every
+// member must call Split; each receives its own new communicator.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	c.checkMember()
+	// Allgather (color, key) pairs via gather+bcast with packed encoding.
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf[0:8], uint64(int64(color)))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(int64(key)))
+	parts, err := c.Gather(0, buf)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.Rank() == 0 {
+		for _, p := range parts {
+			packed = append(packed, p...)
+		}
+	}
+	packed, err = c.Bcast(0, packed)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct{ color, key, rank int }
+	var mine []entry
+	for i := 0; i < len(packed)/16; i++ {
+		col := int(int64(binary.BigEndian.Uint64(packed[i*16 : i*16+8])))
+		k := int(int64(binary.BigEndian.Uint64(packed[i*16+8 : i*16+16])))
+		if col == color {
+			mine = append(mine, entry{col, k, i})
+		}
+	}
+	sort.Slice(mine, func(a, b int) bool {
+		if mine[a].key != mine[b].key {
+			return mine[a].key < mine[b].key
+		}
+		return mine[a].rank < mine[b].rank
+	})
+	members := make([]int, len(mine))
+	for i, e := range mine {
+		members[i] = c.members[e.rank]
+	}
+	// Split is collective, so every member derives the same ID.
+	id := deriveCommID(c.id, uint64(color), members)
+	// Synchronize before returning: a member must not use the parent
+	// communicator again until all have extracted their split data.
+	return &Comm{w: c.w, me: c.me, id: id, members: members}, nil
+}
+
+// CommOf constructs a communicator from an explicit member list (world
+// ranks, in comm-rank order) and an epoch number, without any message
+// exchange. Every member must construct it with identical arguments; the
+// runtime uses this to rebuild its private active communicator after a
+// swap without waking parked spares.
+func (r *Rank) CommOf(members []int, epoch uint64) *Comm {
+	if len(members) == 0 {
+		panic("mpi: CommOf with no members")
+	}
+	seen := map[int]bool{}
+	for _, m := range members {
+		if m < 0 || m >= r.w.size {
+			panic(fmt.Sprintf("mpi: CommOf member %d out of range", m))
+		}
+		if seen[m] {
+			panic(fmt.Sprintf("mpi: CommOf duplicate member %d", m))
+		}
+		seen[m] = true
+	}
+	id := deriveCommID(worldCommID+1, epoch, members)
+	return &Comm{w: r.w, me: r.rank, id: id, members: append([]int(nil), members...)}
+}
+
+func deriveCommID(parent, salt uint64, members []int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], parent)
+	_, _ = h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], salt)
+	_, _ = h.Write(b[:])
+	for _, m := range members {
+		binary.BigEndian.PutUint64(b[:], uint64(m))
+		_, _ = h.Write(b[:])
+	}
+	id := h.Sum64()
+	if id == worldCommID {
+		id = 1
+	}
+	return id
+}
+
+func encodeFloat(x float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(x))
+	return b[:]
+}
+
+func decodeFloat(b []byte) float64 {
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}

@@ -1,0 +1,53 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpackParts checks the variable-size allgather decoder never
+// panics on malformed payloads and inverts packParts on valid ones.
+func FuzzUnpackParts(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(packParts(nil))
+	f.Add(packParts([][]byte{{1, 2}, {}, {3}}))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, err := unpackParts(data)
+		if err != nil {
+			return
+		}
+		re := packParts(parts)
+		back, err := unpackParts(re)
+		if err != nil {
+			t.Fatalf("repack failed: %v", err)
+		}
+		if len(back) != len(parts) {
+			t.Fatalf("repack changed count")
+		}
+		for i := range parts {
+			if !bytes.Equal(back[i], parts[i]) {
+				t.Fatalf("repack changed part %d", i)
+			}
+		}
+	})
+}
+
+// FuzzUnpackFloats checks the float-vector decoder.
+func FuzzUnpackFloats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(packFloats([]float64{1.5, -2}))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, err := unpackFloats(data)
+		if err != nil {
+			if len(data)%8 == 0 {
+				t.Fatalf("aligned payload rejected: %v", err)
+			}
+			return
+		}
+		if len(xs) != len(data)/8 {
+			t.Fatalf("length mismatch")
+		}
+	})
+}

@@ -1,0 +1,241 @@
+// Package mpi is a miniature message-passing substrate with MPI-1.2-like
+// semantics: a fixed-size world of ranks, communicators, tagged
+// point-to-point messages with FIFO ordering per (source, destination,
+// communicator), and the collectives the swapping runtime needs (barrier,
+// broadcast, gather, reduce, allreduce, split).
+//
+// There are no mature MPI bindings for Go, and the paper's runtime needs
+// only these primitives — including the trick of running an application
+// inside private communicators carved out of an over-allocated world — so
+// this package implements them from scratch over two transports: an
+// in-process transport (goroutines and mailboxes) and a TCP transport
+// (one socket mesh, gob-framed), selectable per world.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// AnyTag matches messages with any user tag in Recv.
+const AnyTag = -1
+
+// ErrWorldClosed is returned by operations on a world whose Run has
+// completed or aborted.
+var ErrWorldClosed = errors.New("mpi: world closed")
+
+// envelope is one message in flight. Src and Dst are world ranks.
+type envelope struct {
+	Comm uint64
+	Src  int
+	Dst  int
+	Tag  int
+	Data []byte
+}
+
+// transport moves envelopes between ranks.
+type transport interface {
+	// send delivers the envelope to its destination's mailbox; it may
+	// block briefly but must not wait for a matching receive.
+	send(env envelope) error
+	// close releases transport resources.
+	close() error
+}
+
+// mailbox is the per-rank receive queue with MPI matching.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(env envelope) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, env)
+	m.cond.Broadcast()
+}
+
+// pop blocks until a message matching (comm, src, tag) is present and
+// removes it. src/tag may be AnySource/AnyTag. It returns ErrWorldClosed
+// if the mailbox closes while waiting.
+func (m *mailbox) pop(comm uint64, src, tag int) (envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, env := range m.queue {
+			if env.Comm != comm {
+				continue
+			}
+			if src != AnySource && env.Src != src {
+				continue
+			}
+			if tag != AnyTag && env.Tag != tag {
+				continue
+			}
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return env, nil
+		}
+		if m.closed {
+			return envelope{}, ErrWorldClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// peek reports whether a matching message is queued, without removing
+// it.
+func (m *mailbox) peek(comm uint64, src, tag int) (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, env := range m.queue {
+		if env.Comm != comm {
+			continue
+		}
+		if src != AnySource && env.Src != src {
+			continue
+		}
+		if tag != AnyTag && env.Tag != tag {
+			continue
+		}
+		return env, true
+	}
+	return envelope{}, false
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// World is a fixed set of communicating ranks.
+type World struct {
+	size      int
+	boxes     []*mailbox
+	transport transport
+}
+
+// NewWorld creates an in-process world of the given size.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: NewWorld(%d)", size))
+	}
+	w := &World{size: size}
+	for i := 0; i < size; i++ {
+		w.boxes = append(w.boxes, newMailbox())
+	}
+	w.transport = &inprocTransport{w: w}
+	return w
+}
+
+// NewTCPWorld creates a world of the given size whose ranks exchange
+// messages over TCP loopback sockets. It binds size listeners on
+// 127.0.0.1 ephemeral ports.
+func NewTCPWorld(size int) (*World, error) {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: NewTCPWorld(%d)", size))
+	}
+	w := &World{size: size}
+	for i := 0; i < size; i++ {
+		w.boxes = append(w.boxes, newMailbox())
+	}
+	tr, err := newTCPTransport(w)
+	if err != nil {
+		return nil, err
+	}
+	w.transport = tr
+	return w, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run starts one goroutine per rank executing fn and waits for all of
+// them. The returned error joins every rank's error. After Run returns
+// the world is closed.
+func (w *World) Run(fn func(r *Rank) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					// Unblock peers waiting on this rank.
+					w.Close()
+				}
+			}()
+			errs[rank] = fn(&Rank{w: w, rank: rank})
+		}(i)
+	}
+	wg.Wait()
+	w.Close()
+	var joined []error
+	for rank, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("rank %d: %w", rank, err))
+		}
+	}
+	return errors.Join(joined...)
+}
+
+// Close shuts the world down, failing all pending and future operations
+// with ErrWorldClosed. It is idempotent.
+func (w *World) Close() {
+	for _, b := range w.boxes {
+		b.close()
+	}
+	_ = w.transport.close()
+}
+
+// Rank is one process's handle on the world.
+type Rank struct {
+	w    *World
+	rank int
+}
+
+// Rank reports this process's world rank.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size reports the world size.
+func (r *Rank) Size() int { return r.w.size }
+
+// World returns the world communicator, containing every rank.
+func (r *Rank) World() *Comm {
+	members := make([]int, r.w.size)
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{w: r.w, me: r.rank, id: worldCommID, members: members}
+}
+
+// inprocTransport delivers envelopes by direct mailbox push.
+type inprocTransport struct{ w *World }
+
+func (t *inprocTransport) send(env envelope) error {
+	if env.Dst < 0 || env.Dst >= t.w.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", env.Dst)
+	}
+	t.w.boxes[env.Dst].push(env)
+	return nil
+}
+
+func (t *inprocTransport) close() error { return nil }

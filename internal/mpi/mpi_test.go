@@ -1,0 +1,602 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			return c.Send(1, 7, []byte("hello"))
+		}
+		data, st, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(data) != "hello" || st.Source != 0 || st.Tag != 7 {
+			return fmt.Errorf("got %q %+v", data, st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	w := NewWorld(2)
+	const n = 100
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			data, _, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if data[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order: %d", i, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			if err := c.Send(1, 1, []byte("one")); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("two"))
+		}
+		// Receive tag 2 first even though tag 1 arrived first.
+		d2, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		d1, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(d2) != "two" || string(d1) != "one" {
+			return fmt.Errorf("tag matching broken: %q %q", d1, d2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() != 0 {
+			return c.Send(0, r.Rank(), []byte{byte(r.Rank())})
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			data, st, err := c.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if int(data[0]) != st.Source || st.Tag != st.Source {
+				return fmt.Errorf("mismatched status %+v data %v", st, data)
+			}
+			seen[st.Source] = true
+		}
+		if !seen[1] || !seen[2] {
+			return fmt.Errorf("sources seen: %v", seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendIsBuffered(t *testing.T) {
+	// A send with no posted receive must not block (eager semantics).
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				if err := c.Send(1, 0, bytes.Repeat([]byte{1}, 1024)); err != nil {
+					return err
+				}
+			}
+			return c.Send(1, 9, nil) // done marker
+		}
+		_, _, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 50; i++ {
+			if _, _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	w := NewWorld(5)
+	var mu sync.Mutex
+	phase := map[int]int{}
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		for round := 0; round < 10; round++ {
+			mu.Lock()
+			phase[r.Rank()] = round
+			// Nobody may be more than one phase away once inside the
+			// barrier region.
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			mu.Lock()
+			for other, p := range phase {
+				if p != round {
+					mu.Unlock()
+					return fmt.Errorf("after barrier round %d, rank %d is at %d", round, other, p)
+				}
+			}
+			mu.Unlock()
+			if err := c.Barrier(); err != nil { // second barrier gates the check
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	for size := 1; size <= 9; size++ {
+		for root := 0; root < size; root++ {
+			w := NewWorld(size)
+			payload := []byte(fmt.Sprintf("msg-from-%d", root))
+			err := w.Run(func(r *Rank) error {
+				c := r.World()
+				var data []byte
+				if r.Rank() == root {
+					data = payload
+				}
+				got, err := c.Bcast(root, data)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, payload) {
+					return fmt.Errorf("rank %d got %q", r.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size=%d root=%d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestConsecutiveBcastsDoNotCrossMatch(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		for i := 0; i < 20; i++ {
+			root := i % 4
+			var data []byte
+			if r.Rank() == root {
+				data = []byte{byte(i)}
+			}
+			got, err := c.Bcast(root, data)
+			if err != nil {
+				return err
+			}
+			if len(got) != 1 || got[0] != byte(i) {
+				return fmt.Errorf("round %d: got %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		out, err := c.Gather(2, []byte{byte(r.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if r.Rank() != 2 {
+			if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		}
+		for i, d := range out {
+			if len(d) != 1 || d[0] != byte(i*10) {
+				return fmt.Errorf("gather slot %d = %v", i, d)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveGathersDoNotCrossMatch(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		for round := 0; round < 30; round++ {
+			out, err := c.Gather(0, []byte{byte(round), byte(r.Rank())})
+			if err != nil {
+				return err
+			}
+			if r.Rank() == 0 {
+				for i, d := range out {
+					if int(d[0]) != round || int(d[1]) != i {
+						return fmt.Errorf("round %d slot %d = %v", round, i, d)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAndAllReduce(t *testing.T) {
+	w := NewWorld(6)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		x := float64(r.Rank() + 1)
+		sum, err := c.ReduceFloat64(0, OpSum, x)
+		if err != nil {
+			return err
+		}
+		if r.Rank() == 0 && sum != 21 {
+			return fmt.Errorf("sum = %g", sum)
+		}
+		all, err := c.AllReduceFloat64(OpMax, x)
+		if err != nil {
+			return err
+		}
+		if all != 6 {
+			return fmt.Errorf("rank %d allreduce max = %g", r.Rank(), all)
+		}
+		mn, err := c.AllReduceFloat64(OpMin, x)
+		if err != nil {
+			return err
+		}
+		if mn != 1 {
+			return fmt.Errorf("allreduce min = %g", mn)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherFloat64(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		vec, err := c.AllGatherFloat64(float64(r.Rank()) * 1.5)
+		if err != nil {
+			return err
+		}
+		if len(vec) != 5 {
+			return fmt.Errorf("len %d", len(vec))
+		}
+		for i, v := range vec {
+			if math.Abs(v-float64(i)*1.5) > 1e-12 {
+				return fmt.Errorf("slot %d = %g", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	w := NewWorld(6)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		color := r.Rank() % 2
+		// Reverse key order inside each color group.
+		sub, err := c.Split(color, -r.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("subcomm size %d", sub.Size())
+		}
+		// Members must be ordered by key: descending world rank.
+		m := sub.Members()
+		for i := 1; i < len(m); i++ {
+			if m[i] >= m[i-1] {
+				return fmt.Errorf("key ordering broken: %v", m)
+			}
+		}
+		// The subcommunicator must actually work.
+		sum, err := sub.AllReduceFloat64(OpSum, float64(r.Rank()))
+		if err != nil {
+			return err
+		}
+		want := 0.0
+		for _, wr := range m {
+			want += float64(wr)
+		}
+		if sum != want {
+			return fmt.Errorf("subcomm sum %g want %g", sum, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitCommsAreIsolated(t *testing.T) {
+	// Messages in a subcommunicator must not be visible to the parent.
+	w := NewWorld(4)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		sub, err := c.Split(r.Rank()%2, r.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Rank() == 0 {
+			if err := sub.Send(1, 5, []byte("sub")); err != nil {
+				return err
+			}
+			if err := c.Send((r.Rank()+2)%4, 5, []byte("world")); err != nil {
+				return err
+			}
+		} else {
+			d, _, err := sub.Recv(0, 5)
+			if err != nil {
+				return err
+			}
+			if string(d) != "sub" {
+				return fmt.Errorf("subcomm leak: %q", d)
+			}
+			d, _, err = c.Recv(AnySource, 5)
+			if err != nil {
+				return err
+			}
+			if string(d) != "world" {
+				return fmt.Errorf("world leak: %q", d)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommOf(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(r *Rank) error {
+		members := []int{3, 1, 4}
+		in := false
+		for _, m := range members {
+			if m == r.Rank() {
+				in = true
+			}
+		}
+		if !in {
+			return nil
+		}
+		c := r.CommOf(members, 42)
+		// Comm ranks follow the member order: world 3 -> 0, 1 -> 1, 4 -> 2.
+		want := map[int]int{3: 0, 1: 1, 4: 2}
+		if c.Rank() != want[r.Rank()] {
+			return fmt.Errorf("world %d comm rank %d", r.Rank(), c.Rank())
+		}
+		sum, err := c.AllReduceFloat64(OpSum, float64(r.Rank()))
+		if err != nil {
+			return err
+		}
+		if sum != 8 {
+			return fmt.Errorf("sum %g", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommOfEpochsAreIsolated(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		c1 := r.CommOf([]int{0, 1}, 1)
+		c2 := r.CommOf([]int{0, 1}, 2)
+		if c1.ID() == c2.ID() {
+			return fmt.Errorf("epochs produced identical comm IDs")
+		}
+		if r.Rank() == 0 {
+			if err := c2.Send(1, 0, []byte("two")); err != nil {
+				return err
+			}
+			return c1.Send(1, 0, []byte("one"))
+		}
+		d, _, err := c1.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if string(d) != "one" {
+			return fmt.Errorf("epoch isolation broken: %q", d)
+		}
+		d, _, err = c2.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if string(d) != "two" {
+			return fmt.Errorf("epoch isolation broken: %q", d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonMemberPanics(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 2 {
+			c := r.CommOf([]int{0, 1}, 7)
+			defer func() {
+				if recover() == nil {
+					t.Error("non-member Send did not panic")
+				}
+			}()
+			_ = c.Send(0, 0, nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeUserTagPanics(t *testing.T) {
+	w := NewWorld(2)
+	_ = w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("negative tag did not panic")
+				}
+			}()
+			_ = r.World().Send(1, -1, nil)
+		}
+		return nil
+	})
+}
+
+func TestRankErrorsArePropagated(t *testing.T) {
+	w := NewWorld(3)
+	boom := errors.New("boom")
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanicInRankClosesWorld(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			panic("kaboom")
+		}
+		// Rank 1 would block forever without the panic-close.
+		_, _, err := r.World().Recv(0, 0)
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected error from panicked world")
+	}
+}
+
+func TestRecvAfterCloseFails(t *testing.T) {
+	w := NewWorld(2)
+	_ = w.Run(func(r *Rank) error { return nil })
+	// The world is closed now; direct mailbox access must fail.
+	_, err := w.boxes[0].pop(worldCommID, AnySource, AnyTag)
+	if !errors.Is(err, ErrWorldClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendToInvalidRank(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			if err := r.World().Send(5, 0, nil); err == nil {
+				return errors.New("send to rank 5 of 2 succeeded")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // mutate after send
+			return c.Send(1, 1, nil)
+		}
+		_, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		d, _, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if d[0] != 1 {
+			return fmt.Errorf("send aliased caller buffer: %v", d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

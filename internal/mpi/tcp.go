@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpTransport carries envelopes over a loopback TCP mesh: one listener
+// per rank, with sender-side connections dialed lazily and cached. Each
+// connection is a one-directional gob stream of envelopes.
+type tcpTransport struct {
+	w         *World
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex
+	conns map[int]*gob.Encoder // destination rank -> encoder
+	socks []net.Conn
+	done  bool
+	wg    sync.WaitGroup
+}
+
+func newTCPTransport(w *World) (*tcpTransport, error) {
+	t := &tcpTransport{w: w, conns: map[int]*gob.Encoder{}}
+	for i := 0; i < w.size; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.close()
+			return nil, fmt.Errorf("mpi: listen for rank %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs = append(t.addrs, ln.Addr().String())
+		rank := i
+		t.wg.Add(1)
+		go t.acceptLoop(rank, ln)
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) acceptLoop(rank int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.done {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.socks = append(t.socks, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(rank, conn)
+	}
+}
+
+func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
+	defer t.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		t.w.boxes[rank].push(env)
+	}
+}
+
+func (t *tcpTransport) send(env envelope) error {
+	if env.Dst < 0 || env.Dst >= t.w.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", env.Dst)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return ErrWorldClosed
+	}
+	enc, ok := t.conns[env.Dst]
+	if !ok {
+		conn, err := net.Dial("tcp", t.addrs[env.Dst])
+		if err != nil {
+			return fmt.Errorf("mpi: dial rank %d: %w", env.Dst, err)
+		}
+		t.socks = append(t.socks, conn)
+		enc = gob.NewEncoder(conn)
+		t.conns[env.Dst] = enc
+	}
+	return enc.Encode(env)
+}
+
+func (t *tcpTransport) close() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return nil
+	}
+	t.done = true
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+	for _, c := range t.socks {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

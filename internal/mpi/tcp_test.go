@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestTCPSendRecv(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			return c.Send(1, 4, []byte("over tcp"))
+		}
+		d, st, err := c.Recv(0, 4)
+		if err != nil {
+			return err
+		}
+		if string(d) != "over tcp" || st.Source != 0 {
+			return fmt.Errorf("got %q %+v", d, st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCollectives(t *testing.T) {
+	w, err := NewTCPWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		c := r.World()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		sum, err := c.AllReduceFloat64(OpSum, 1)
+		if err != nil {
+			return err
+		}
+		if sum != 4 {
+			return fmt.Errorf("sum = %g", sum)
+		}
+		var data []byte
+		if r.Rank() == 3 {
+			data = bytes.Repeat([]byte{7}, 1<<16) // 64 KiB payload
+		}
+		got, err := c.Bcast(3, data)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1<<16 || got[0] != 7 {
+			return fmt.Errorf("bcast payload corrupted: len %d", len(got))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPFIFO(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	err = w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 0, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			d, _, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if d[0] != byte(i) {
+				return fmt.Errorf("out of order at %d: %d", i, d[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPManyRanks(t *testing.T) {
+	w, err := NewTCPWorld(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		c := r.World()
+		for round := 0; round < 5; round++ {
+			v, err := c.AllReduceFloat64(OpSum, float64(r.Rank()))
+			if err != nil {
+				return err
+			}
+			if v != 28 {
+				return fmt.Errorf("round %d sum %g", round, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPWorldCloseIsIdempotent(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(r *Rank) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w.Close()
+}

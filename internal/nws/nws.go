@@ -1,0 +1,238 @@
+// Package nws provides Network-Weather-Service-style time-series
+// forecasters. The paper's runtime gathers resource performance
+// measurements "via the NWS, Autopilot, or MDS"; the swapping policies
+// consume a per-host performance estimate derived from such measurements.
+// This package supplies the estimate: simple one-step-ahead forecasters
+// and an adaptive meta-forecaster that tracks whichever simple forecaster
+// has been most accurate so far, which is the core idea of NWS
+// forecasting.
+package nws
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Forecaster consumes a series of measurements and predicts the next
+// value. Implementations are single-series and not safe for concurrent
+// use.
+type Forecaster interface {
+	// Add appends a measurement.
+	Add(v float64)
+	// Predict returns the forecast for the next measurement. With no
+	// data it returns NaN.
+	Predict() float64
+	// Name identifies the forecaster in reports.
+	Name() string
+}
+
+// LastValue predicts the most recent measurement.
+type LastValue struct {
+	v   float64
+	has bool
+}
+
+// Name implements Forecaster.
+func (f *LastValue) Name() string { return "last" }
+
+// Add implements Forecaster.
+func (f *LastValue) Add(v float64) { f.v, f.has = v, true }
+
+// Predict implements Forecaster.
+func (f *LastValue) Predict() float64 {
+	if !f.has {
+		return math.NaN()
+	}
+	return f.v
+}
+
+// RunningMean predicts the mean of all measurements seen.
+type RunningMean struct {
+	sum float64
+	n   int
+}
+
+// Name implements Forecaster.
+func (f *RunningMean) Name() string { return "mean" }
+
+// Add implements Forecaster.
+func (f *RunningMean) Add(v float64) { f.sum += v; f.n++ }
+
+// Predict implements Forecaster.
+func (f *RunningMean) Predict() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	return f.sum / float64(f.n)
+}
+
+// SlidingMean predicts the mean of the last K measurements.
+type SlidingMean struct {
+	K   int
+	buf []float64
+}
+
+// Name implements Forecaster.
+func (f *SlidingMean) Name() string { return fmt.Sprintf("mean%d", f.K) }
+
+// Add implements Forecaster.
+func (f *SlidingMean) Add(v float64) {
+	if f.K <= 0 {
+		panic("nws: SlidingMean.K must be positive")
+	}
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.K {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Predict implements Forecaster.
+func (f *SlidingMean) Predict() float64 {
+	if len(f.buf) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range f.buf {
+		s += v
+	}
+	return s / float64(len(f.buf))
+}
+
+// SlidingMedian predicts the median of the last K measurements. Medians
+// resist the transient load spikes the paper's "history" policy knob is
+// designed to damp.
+type SlidingMedian struct {
+	K   int
+	buf []float64
+}
+
+// Name implements Forecaster.
+func (f *SlidingMedian) Name() string { return fmt.Sprintf("median%d", f.K) }
+
+// Add implements Forecaster.
+func (f *SlidingMedian) Add(v float64) {
+	if f.K <= 0 {
+		panic("nws: SlidingMedian.K must be positive")
+	}
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.K {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Predict implements Forecaster.
+func (f *SlidingMedian) Predict() float64 {
+	if len(f.buf) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), f.buf...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// ExpSmoothing predicts with exponential smoothing:
+// s <- alpha*v + (1-alpha)*s.
+type ExpSmoothing struct {
+	Alpha float64
+	s     float64
+	has   bool
+}
+
+// Name implements Forecaster.
+func (f *ExpSmoothing) Name() string { return fmt.Sprintf("expsmooth(%.2g)", f.Alpha) }
+
+// Add implements Forecaster.
+func (f *ExpSmoothing) Add(v float64) {
+	if f.Alpha <= 0 || f.Alpha > 1 {
+		panic(fmt.Sprintf("nws: ExpSmoothing alpha %g", f.Alpha))
+	}
+	if !f.has {
+		f.s, f.has = v, true
+		return
+	}
+	f.s = f.Alpha*v + (1-f.Alpha)*f.s
+}
+
+// Predict implements Forecaster.
+func (f *ExpSmoothing) Predict() float64 {
+	if !f.has {
+		return math.NaN()
+	}
+	return f.s
+}
+
+// Adaptive is the NWS meta-forecaster: it runs several child forecasters
+// in parallel, scores each child by its cumulative squared one-step-ahead
+// error, and predicts with the currently best child.
+type Adaptive struct {
+	children []Forecaster
+	sqErr    []float64
+	n        int
+}
+
+// NewAdaptive builds an Adaptive over the given children; with none, a
+// default battery (last value, running mean, sliding mean/median,
+// exponential smoothing) is used.
+func NewAdaptive(children ...Forecaster) *Adaptive {
+	if len(children) == 0 {
+		children = []Forecaster{
+			&LastValue{},
+			&RunningMean{},
+			&SlidingMean{K: 10},
+			&SlidingMedian{K: 10},
+			&ExpSmoothing{Alpha: 0.3},
+		}
+	}
+	return &Adaptive{children: children, sqErr: make([]float64, len(children))}
+}
+
+// Name implements Forecaster.
+func (f *Adaptive) Name() string { return "adaptive" }
+
+// Add implements Forecaster.
+func (f *Adaptive) Add(v float64) {
+	// Score each child's prediction of this value before updating it.
+	if f.n > 0 {
+		for i, c := range f.children {
+			p := c.Predict()
+			if !math.IsNaN(p) {
+				d := p - v
+				f.sqErr[i] += d * d
+			}
+		}
+	}
+	for _, c := range f.children {
+		c.Add(v)
+	}
+	f.n++
+}
+
+// Predict implements Forecaster.
+func (f *Adaptive) Predict() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	best := 0
+	for i := 1; i < len(f.children); i++ {
+		if f.sqErr[i] < f.sqErr[best] {
+			best = i
+		}
+	}
+	return f.children[best].Predict()
+}
+
+// Best reports the name of the currently most accurate child.
+func (f *Adaptive) Best() string {
+	best := 0
+	for i := 1; i < len(f.children); i++ {
+		if f.sqErr[i] < f.sqErr[best] {
+			best = i
+		}
+	}
+	return f.children[best].Name()
+}

@@ -1,0 +1,157 @@
+package nws
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestLastValue(t *testing.T) {
+	f := &LastValue{}
+	if !math.IsNaN(f.Predict()) {
+		t.Fatal("empty LastValue should predict NaN")
+	}
+	f.Add(3)
+	f.Add(7)
+	if f.Predict() != 7 {
+		t.Fatalf("Predict = %g", f.Predict())
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	f := &RunningMean{}
+	for _, v := range []float64{1, 2, 3, 4} {
+		f.Add(v)
+	}
+	if f.Predict() != 2.5 {
+		t.Fatalf("Predict = %g", f.Predict())
+	}
+}
+
+func TestSlidingMeanWindow(t *testing.T) {
+	f := &SlidingMean{K: 3}
+	for _, v := range []float64{100, 1, 2, 3} {
+		f.Add(v)
+	}
+	if f.Predict() != 2 {
+		t.Fatalf("Predict = %g, want 2 (window should drop the 100)", f.Predict())
+	}
+}
+
+func TestSlidingMedianRobustToSpike(t *testing.T) {
+	f := &SlidingMedian{K: 5}
+	for _, v := range []float64{10, 10, 1000, 10, 10} {
+		f.Add(v)
+	}
+	if f.Predict() != 10 {
+		t.Fatalf("median with spike = %g, want 10", f.Predict())
+	}
+}
+
+func TestSlidingMedianEvenWindow(t *testing.T) {
+	f := &SlidingMedian{K: 4}
+	for _, v := range []float64{1, 2, 3, 4} {
+		f.Add(v)
+	}
+	if f.Predict() != 2.5 {
+		t.Fatalf("even-window median = %g, want 2.5", f.Predict())
+	}
+}
+
+func TestExpSmoothing(t *testing.T) {
+	f := &ExpSmoothing{Alpha: 0.5}
+	f.Add(10)
+	f.Add(20)
+	if f.Predict() != 15 {
+		t.Fatalf("Predict = %g, want 15", f.Predict())
+	}
+}
+
+func TestExpSmoothingBadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&ExpSmoothing{Alpha: 0}).Add(1)
+}
+
+func TestAdaptivePicksLastValueOnTrend(t *testing.T) {
+	// On a steadily increasing series, last-value beats running mean.
+	f := NewAdaptive()
+	for i := 0; i < 100; i++ {
+		f.Add(float64(i))
+	}
+	if f.Best() != "last" {
+		t.Fatalf("Best = %q, want last on a linear trend", f.Best())
+	}
+	if got := f.Predict(); got != 99 {
+		t.Fatalf("Predict = %g, want 99", got)
+	}
+}
+
+func TestAdaptivePicksSmootherOnNoise(t *testing.T) {
+	// On i.i.d. noise around a constant, an averaging forecaster beats
+	// last-value.
+	st := rng.NewSource(12).Stream("noise")
+	f := NewAdaptive()
+	for i := 0; i < 2000; i++ {
+		f.Add(5 + st.Normal(0, 1))
+	}
+	if f.Best() == "last" {
+		t.Fatal("adaptive chose last-value on white noise")
+	}
+	if math.Abs(f.Predict()-5) > 0.5 {
+		t.Fatalf("Predict = %g, want ≈5", f.Predict())
+	}
+}
+
+func TestAdaptiveEmpty(t *testing.T) {
+	if !math.IsNaN(NewAdaptive().Predict()) {
+		t.Fatal("empty Adaptive should predict NaN")
+	}
+}
+
+func TestForecastersBoundedByData(t *testing.T) {
+	// Property: every forecaster's prediction lies within [min, max] of
+	// the data it has seen (all of these are averaging/selection
+	// forecasters).
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// Keep magnitudes realistic so RunningMean's sum cannot
+				// overflow (measurements are availabilities or flop
+				// rates, never 1e308).
+				vals = append(vals, math.Mod(v, 1e9))
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		fs := []Forecaster{
+			&LastValue{}, &RunningMean{}, &SlidingMean{K: 4},
+			&SlidingMedian{K: 4}, &ExpSmoothing{Alpha: 0.4}, NewAdaptive(),
+		}
+		for _, fc := range fs {
+			for _, v := range vals {
+				fc.Add(v)
+			}
+			p := fc.Predict()
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simkern"
+)
+
+// Link is the single shared network link of the paper's platform:
+// latency Latency seconds, bandwidth Bandwidth bytes/s, with all
+// concurrent transfers fair-sharing the bandwidth (fluid model). Messages
+// therefore "compete for a fixed amount of communication bandwidth, and
+// collisions delay message transmission" exactly as in the paper's
+// simulator.
+type Link struct {
+	k         *simkern.Kernel
+	Latency   float64
+	Bandwidth float64
+
+	active     map[*transfer]struct{}
+	lastUpdate float64
+	wake       *simkern.Event
+	seq        uint64
+
+	// TotalBytes accumulates all bytes ever carried, for tests and
+	// reporting.
+	TotalBytes float64
+}
+
+type transfer struct {
+	seq       uint64
+	remaining float64
+	done      func()
+}
+
+// NewLink creates a link bound to kernel k.
+func NewLink(k *simkern.Kernel, latency, bandwidth float64) *Link {
+	if bandwidth <= 0 || latency < 0 {
+		panic(fmt.Sprintf("platform: link latency=%g bandwidth=%g", latency, bandwidth))
+	}
+	return &Link{
+		k:         k,
+		Latency:   latency,
+		Bandwidth: bandwidth,
+		active:    map[*transfer]struct{}{},
+	}
+}
+
+// InFlight reports the number of transfers currently sharing the link.
+func (l *Link) InFlight() int { return len(l.active) }
+
+// Start begins a transfer of the given bytes and calls done (from kernel
+// context) when the last byte arrives. The latency is paid up front, then
+// the payload drains at the fair share of the bandwidth. done is never
+// called synchronously. Zero-byte transfers still pay the latency.
+func (l *Link) Start(bytes float64, done func()) {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("platform: transfer of %g bytes", bytes))
+	}
+	l.k.After(l.Latency, func() {
+		if bytes == 0 {
+			done()
+			return
+		}
+		l.settle()
+		tr := &transfer{seq: l.seq, remaining: bytes, done: done}
+		l.seq++
+		l.active[tr] = struct{}{}
+		l.TotalBytes += bytes
+		l.reschedule()
+	})
+}
+
+// Transfer blocks the calling simulated process until a transfer of bytes
+// completes.
+func (l *Link) Transfer(p *simkern.Proc, bytes float64) {
+	l.Start(bytes, func() { p.Unpark() })
+	p.Park()
+}
+
+// TransferTimeAlone reports how long a transfer of the given bytes takes
+// on an otherwise idle link — the paper's swap-time model
+// alpha + size/beta. It does not perform a transfer.
+func (l *Link) TransferTimeAlone(bytes float64) float64 {
+	return l.Latency + bytes/l.Bandwidth
+}
+
+// settle advances all in-flight transfers to the current virtual time at
+// the rate they have been receiving since the last settlement.
+func (l *Link) settle() {
+	now := l.k.Now()
+	if len(l.active) > 0 {
+		rate := l.Bandwidth / float64(len(l.active))
+		dt := now - l.lastUpdate
+		for tr := range l.active {
+			tr.remaining -= rate * dt
+		}
+	}
+	l.lastUpdate = now
+}
+
+// reschedule cancels any pending completion event and schedules one at
+// the earliest time a transfer will finish at current rates.
+func (l *Link) reschedule() {
+	if l.wake != nil {
+		l.wake.Cancel()
+		l.wake = nil
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	rate := l.Bandwidth / float64(len(l.active))
+	minRem := math.Inf(1)
+	for tr := range l.active {
+		if tr.remaining < minRem {
+			minRem = tr.remaining
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	l.wake = l.k.After(minRem/rate, l.complete)
+}
+
+// complete finishes every transfer whose remaining bytes have drained.
+func (l *Link) complete() {
+	l.wake = nil
+	l.settle()
+	// Tolerance scaled to the payloads so float drift never strands a
+	// transfer: anything within a microsecond's worth of bandwidth of
+	// zero is done.
+	eps := l.Bandwidth * 1e-6
+	var finished []*transfer
+	for tr := range l.active {
+		if tr.remaining <= eps {
+			finished = append(finished, tr)
+		}
+	}
+	// Map iteration order is random; completion callbacks must fire in a
+	// deterministic (start) order for reproducible simulations.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	for _, tr := range finished {
+		delete(l.active, tr)
+	}
+	l.reschedule()
+	// Callbacks run after the link state is consistent; they may start
+	// new transfers.
+	for _, tr := range finished {
+		tr.done()
+	}
+}

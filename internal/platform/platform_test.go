@@ -1,0 +1,326 @@
+package platform
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loadgen"
+	"repro/internal/rng"
+	"repro/internal/simkern"
+)
+
+func replayHost(speed float64, segs []loadgen.Segment, tail int) *Host {
+	m := loadgen.Replay{Segments: segs, Tail: tail}
+	return NewHost(0, speed, loadgen.NewTrace(m.NewSource(nil, 0)))
+}
+
+func TestComputeFinishUnloaded(t *testing.T) {
+	h := replayHost(100e6, nil, 0)
+	if got := h.ComputeFinish(5, 200e6); got != 7 {
+		t.Fatalf("ComputeFinish = %g, want 7", got)
+	}
+}
+
+func TestComputeFinishAcrossLoadChange(t *testing.T) {
+	// 100 MF/s host; loaded (1 competitor → 50 MF/s) for the first 10 s.
+	h := replayHost(100e6, []loadgen.Segment{{Dur: 10, N: 1}}, 0)
+	// 1e9 flops starting at 0: 10 s at 50 MF/s = 5e8, remaining 5e8 at
+	// 100 MF/s = 5 s. Total 15 s.
+	if got := h.ComputeFinish(0, 1e9); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("ComputeFinish = %g, want 15", got)
+	}
+}
+
+func TestComputeFinishZeroWork(t *testing.T) {
+	h := replayHost(100e6, nil, 0)
+	if got := h.ComputeFinish(3, 0); got != 3 {
+		t.Fatalf("zero work finish = %g", got)
+	}
+}
+
+func TestComputeFinishMonotoneInWork(t *testing.T) {
+	src := rng.NewSource(5)
+	tr := loadgen.NewTrace(loadgen.NewOnOff(0.4).NewSource(src, 0))
+	h := NewHost(0, 300e6, tr)
+	f := func(w1, w2 uint32) bool {
+		a, b := float64(w1)*1e4, float64(w2)*1e4
+		if a > b {
+			a, b = b, a
+		}
+		return h.ComputeFinish(0, a) <= h.ComputeFinish(0, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeFinishAdditive(t *testing.T) {
+	// Property: computing W1 then W2 back to back finishes exactly when
+	// computing W1+W2 does.
+	src := rng.NewSource(6)
+	tr := loadgen.NewTrace(loadgen.NewOnOff(0.6).NewSource(src, 3))
+	h := NewHost(0, 250e6, tr)
+	f := func(w1, w2 uint32, s uint16) bool {
+		start := float64(s)
+		a, b := float64(w1)*1e4, float64(w2)*1e4
+		mid := h.ComputeFinish(start, a)
+		seq := h.ComputeFinish(mid, b)
+		all := h.ComputeFinish(start, a+b)
+		return math.Abs(seq-all) < 1e-6*(1+all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateAndAvail(t *testing.T) {
+	h := replayHost(200e6, []loadgen.Segment{{Dur: 10, N: 3}}, 0)
+	if got := h.AvailAt(5); got != 0.25 {
+		t.Fatalf("AvailAt = %g", got)
+	}
+	if got := h.RateAt(5); got != 50e6 {
+		t.Fatalf("RateAt = %g", got)
+	}
+	if got := h.RateAt(11); got != 200e6 {
+		t.Fatalf("RateAt unloaded = %g", got)
+	}
+	if got := h.MeanRate(0, 20); math.Abs(got-125e6) > 1 {
+		t.Fatalf("MeanRate = %g, want 125e6", got)
+	}
+}
+
+func TestLinkSingleTransfer(t *testing.T) {
+	k := simkern.New()
+	l := NewLink(k, 0.5, 1e6)
+	var doneAt float64
+	l.Start(2e6, func() { doneAt = k.Now() })
+	k.Run()
+	if math.Abs(doneAt-2.5) > 1e-9 {
+		t.Fatalf("transfer done at %g, want 2.5", doneAt)
+	}
+	if l.TotalBytes != 2e6 {
+		t.Fatalf("TotalBytes = %g", l.TotalBytes)
+	}
+}
+
+func TestLinkFairSharing(t *testing.T) {
+	// Two equal transfers started together each get half the bandwidth
+	// and finish together at double the alone-time.
+	k := simkern.New()
+	l := NewLink(k, 0, 1e6)
+	var d1, d2 float64
+	l.Start(1e6, func() { d1 = k.Now() })
+	l.Start(1e6, func() { d2 = k.Now() })
+	k.Run()
+	if math.Abs(d1-2) > 1e-9 || math.Abs(d2-2) > 1e-9 {
+		t.Fatalf("done at %g, %g; want 2, 2", d1, d2)
+	}
+}
+
+func TestLinkLateJoiner(t *testing.T) {
+	// T1: 3 MB alone at 1 MB/s. T2 (1 MB) joins at t=1.
+	// From t=1 both share 0.5 MB/s. T2 finishes at t=3 (1MB / 0.5).
+	// T1 has 2 MB left at t=1, drains 1 MB by t=3, then 1 MB alone → t=4.
+	k := simkern.New()
+	l := NewLink(k, 0, 1e6)
+	var d1, d2 float64
+	l.Start(3e6, func() { d1 = k.Now() })
+	k.At(1, func() { l.Start(1e6, func() { d2 = k.Now() }) })
+	k.Run()
+	if math.Abs(d2-3) > 1e-6 {
+		t.Fatalf("T2 done at %g, want 3", d2)
+	}
+	if math.Abs(d1-4) > 1e-6 {
+		t.Fatalf("T1 done at %g, want 4", d1)
+	}
+}
+
+func TestLinkZeroBytesPaysLatencyOnly(t *testing.T) {
+	k := simkern.New()
+	l := NewLink(k, 0.25, 1e6)
+	var doneAt float64 = -1
+	l.Start(0, func() { doneAt = k.Now() })
+	k.Run()
+	if doneAt != 0.25 {
+		t.Fatalf("zero-byte transfer done at %g", doneAt)
+	}
+}
+
+func TestLinkManyTransfersConserveBandwidth(t *testing.T) {
+	// N simultaneous equal transfers must all finish at N * aloneTime.
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		k := simkern.New()
+		l := NewLink(k, 0, 2e6)
+		finished := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			l.Start(1e6, func() { finished = append(finished, k.Now()) })
+		}
+		k.Run()
+		want := float64(n) * 0.5
+		if len(finished) != n {
+			t.Fatalf("n=%d: only %d finished", n, len(finished))
+		}
+		for _, f := range finished {
+			if math.Abs(f-want) > 1e-6 {
+				t.Fatalf("n=%d: finished at %v, want all %g", n, finished, want)
+			}
+		}
+	}
+}
+
+func TestLinkBlockingTransfer(t *testing.T) {
+	k := simkern.New()
+	l := NewLink(k, 0.5, 1e6)
+	var doneAt float64
+	k.Go("sender", func(p *simkern.Proc) {
+		p.Sleep(1)
+		l.Transfer(p, 1e6)
+		doneAt = p.Now()
+	})
+	k.Run()
+	if math.Abs(doneAt-2.5) > 1e-9 {
+		t.Fatalf("blocking transfer done at %g, want 2.5", doneAt)
+	}
+}
+
+func TestLinkDeterministicCompletionOrder(t *testing.T) {
+	// Transfers finishing simultaneously must complete in start order,
+	// every run.
+	run := func() []int {
+		k := simkern.New()
+		l := NewLink(k, 0, 1e6)
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			l.Start(1e6, func() { order = append(order, i) })
+		}
+		k.Run()
+		return order
+	}
+	first := run()
+	if !sort.IntsAreSorted(first) {
+		t.Fatalf("completion order not FIFO: %v", first)
+	}
+	for r := 0; r < 10; r++ {
+		got := run()
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("nondeterministic completion: %v vs %v", got, first)
+			}
+		}
+	}
+}
+
+func TestLinkTransferTimeAlone(t *testing.T) {
+	k := simkern.New()
+	l := NewLink(k, 0.1, 6e6)
+	if got := l.TransferTimeAlone(6e6); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("TransferTimeAlone = %g", got)
+	}
+}
+
+func TestLinkChainedTransfers(t *testing.T) {
+	// A completion callback that starts a new transfer must work.
+	k := simkern.New()
+	l := NewLink(k, 0, 1e6)
+	var second float64
+	l.Start(1e6, func() {
+		l.Start(1e6, func() { second = k.Now() })
+	})
+	k.Run()
+	if math.Abs(second-2) > 1e-9 {
+		t.Fatalf("chained transfer done at %g, want 2", second)
+	}
+}
+
+func TestPlatformNew(t *testing.T) {
+	k := simkern.New()
+	cfg := Default(32, loadgen.NewOnOff(0.2))
+	p := New(k, cfg, rng.NewSource(42))
+	if len(p.Hosts) != 32 {
+		t.Fatalf("NumHosts = %d", len(p.Hosts))
+	}
+	for _, h := range p.Hosts {
+		if h.Speed < 200e6 || h.Speed > 800e6 {
+			t.Fatalf("host speed %g out of range", h.Speed)
+		}
+	}
+	if p.StartupTime(30) != 22.5 {
+		t.Fatalf("StartupTime(30) = %g, want 22.5 (paper: ~20 s)", p.StartupTime(30))
+	}
+}
+
+func TestPlatformDeterministic(t *testing.T) {
+	build := func() []float64 {
+		k := simkern.New()
+		p := New(k, Default(8, loadgen.NewOnOff(0.3)), rng.NewSource(7))
+		var speeds []float64
+		for _, h := range p.Hosts {
+			speeds = append(speeds, h.Speed, float64(h.LoadAt(1000)))
+		}
+		return speeds
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("platform build not deterministic at %d", i)
+		}
+	}
+}
+
+func TestFastestAt(t *testing.T) {
+	k := simkern.New()
+	p := New(k, Default(16, loadgen.Constant{N: 0}), rng.NewSource(9))
+	ids := p.FastestAt(0, 4, nil)
+	if len(ids) != 4 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	// Returned hosts must be sorted by rate descending and dominate all
+	// others.
+	minRate := math.Inf(1)
+	for i, id := range ids {
+		r := p.Hosts[id].RateAt(0)
+		if r > minRate+1e-9 {
+			t.Fatalf("ids not sorted by rate at %d", i)
+		}
+		if r < minRate {
+			minRate = r
+		}
+	}
+	chosen := map[int]bool{}
+	for _, id := range ids {
+		chosen[id] = true
+	}
+	for _, h := range p.Hosts {
+		if !chosen[h.ID] && h.RateAt(0) > minRate+1e-9 {
+			t.Fatalf("host %d faster than a chosen one", h.ID)
+		}
+	}
+}
+
+func TestFastestAtRespectsLoad(t *testing.T) {
+	// A fast-but-loaded host must lose to a slower idle one when the
+	// effective rate says so.
+	k := simkern.New()
+	fast := NewHost(0, 800e6, loadgen.NewTrace(loadgen.Constant{N: 3}.NewSource(nil, 0))) // 200 MF/s effective
+	slow := NewHost(1, 300e6, loadgen.NewTrace(loadgen.Constant{N: 0}.NewSource(nil, 0))) // 300 MF/s effective
+	p := &Platform{Kernel: k, Hosts: []*Host{fast, slow}}
+	ids := p.FastestAt(0, 1, nil)
+	if ids[0] != 1 {
+		t.Fatalf("FastestAt chose %d, want idle host 1", ids[0])
+	}
+}
+
+func TestFastestAtCandidates(t *testing.T) {
+	k := simkern.New()
+	p := New(k, Default(10, loadgen.Constant{N: 0}), rng.NewSource(3))
+	cands := []int{2, 5, 7}
+	ids := p.FastestAt(0, 2, cands)
+	for _, id := range ids {
+		if id != 2 && id != 5 && id != 7 {
+			t.Fatalf("FastestAt returned non-candidate %d", id)
+		}
+	}
+}

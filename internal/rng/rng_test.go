@@ -1,0 +1,156 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	a := NewSource(42).Stream("host-3")
+	b := NewSource(42).Stream("host-3")
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("draw %d differs: %g vs %g", i, x, y)
+		}
+	}
+}
+
+func TestStreamsWithDifferentNamesDiffer(t *testing.T) {
+	src := NewSource(42)
+	a, b := src.Stream("host-3"), src.Stream("host-4")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams host-3 and host-4 coincide on %d/100 draws", same)
+	}
+}
+
+func TestStreamsWithDifferentSeedsDiffer(t *testing.T) {
+	a := NewSource(1).Stream("x")
+	b := NewSource(2).Stream("x")
+	if a.Float64() == b.Float64() && a.Float64() == b.Float64() {
+		t.Fatal("seeds 1 and 2 produced identical draws")
+	}
+}
+
+func TestSubstreamIndependence(t *testing.T) {
+	root := NewSource(7)
+	s1 := root.Substream("rep-0").Stream("host-0")
+	s2 := root.Substream("rep-1").Stream("host-0")
+	if s1.Float64() == s2.Float64() && s1.Float64() == s2.Float64() {
+		t.Fatal("substreams rep-0 and rep-1 coincide")
+	}
+	// Substream derivation must itself be deterministic.
+	t1 := NewSource(7).Substream("rep-0").Stream("host-0")
+	t2 := NewSource(7).Substream("rep-0").Stream("host-0")
+	for i := 0; i < 100; i++ {
+		if t1.Float64() != t2.Float64() {
+			t.Fatalf("substream derivation not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	st := NewSource(3).Stream("u")
+	f := func(lo, width float64) bool {
+		lo = math.Mod(lo, 1e6)
+		width = math.Abs(math.Mod(width, 1e6))
+		v := st.Uniform(lo, lo+width)
+		return v >= lo && (width == 0 || v < lo+width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	st := NewSource(4).Stream("b")
+	for i := 0; i < 100; i++ {
+		if st.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !st.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	st := NewSource(5).Stream("b")
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if st.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %g, want within 0.01 of 0.3", got)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	st := NewSource(6).Stream("e")
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += st.Exp(12.5)
+	}
+	got := sum / n
+	if math.Abs(got-12.5) > 0.2 {
+		t.Fatalf("Exp(12.5) sample mean = %g", got)
+	}
+}
+
+func TestExpPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewSource(1).Stream("e").Exp(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	st := NewSource(8).Stream("g")
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		v := st.Geometric(0.25)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	got := float64(sum) / n
+	if math.Abs(got-4.0) > 0.1 {
+		t.Fatalf("Geometric(0.25) sample mean = %g, want ~4", got)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	st := NewSource(9).Stream("g")
+	for i := 0; i < 10; i++ {
+		if v := st.Geometric(1); v != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	st := NewSource(10).Stream("p")
+	p := st.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,36 @@
+package simkern_test
+
+import (
+	"fmt"
+
+	"repro/internal/simkern"
+)
+
+// Two simulated processes synchronize on a barrier in virtual time; no
+// real time passes.
+func ExampleKernel() {
+	k := simkern.New()
+	b := simkern.NewBarrier(k, 2)
+	for _, d := range []float64{3, 8} {
+		d := d
+		k.Go("worker", func(p *simkern.Proc) {
+			p.Sleep(d)
+			b.Wait(p)
+			fmt.Printf("released at t=%.0f\n", p.Now())
+		})
+	}
+	k.Run()
+	// Output:
+	// released at t=8
+	// released at t=8
+}
+
+func ExampleKernel_events() {
+	k := simkern.New()
+	k.At(2, func() { fmt.Println("second at", k.Now()) })
+	k.At(1, func() { fmt.Println("first at", k.Now()) })
+	k.Run()
+	// Output:
+	// first at 1
+	// second at 2
+}

@@ -1,0 +1,176 @@
+// Package simkern is a discrete-event simulation kernel in the style of
+// SimGrid/SimPy: a virtual clock, a cancellable event queue, and
+// coroutine-style simulated processes that can sleep on virtual time or
+// park until another component wakes them.
+//
+// The kernel is strictly sequential: at most one event callback or one
+// simulated process runs at a time, so simulation state needs no locking.
+// Determinism is guaranteed by ordering simultaneous events by scheduling
+// sequence number.
+package simkern
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Kernel owns the virtual clock and event queue. Create one with New.
+type Kernel struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	// yield synchronizes the kernel goroutine with the single running
+	// simulated process: a process sends on yield exactly once each time
+	// it blocks or terminates.
+	yield  chan struct{}
+	parked map[*Proc]struct{}
+	nprocs int // live (started, not finished) processes
+}
+
+// New returns an empty kernel at virtual time 0.
+func New() *Kernel {
+	return &Kernel{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Event is a scheduled callback. It can be cancelled until it runs.
+type Event struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time reports the virtual time the event is scheduled at.
+func (e *Event) Time() float64 { return e.at }
+
+// Cancel prevents the event from running. Cancelling an already-executed
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it is always a simulation bug.
+func (k *Kernel) At(t float64, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("simkern: scheduling at %g before now %g", t, k.now))
+	}
+	if math.IsNaN(t) {
+		panic("simkern: scheduling at NaN")
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (k *Kernel) After(d float64, fn func()) *Event { return k.At(k.now+d, fn) }
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Step executes the next event, advancing the clock. It reports whether an
+// event was executed (false when the queue is empty).
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		k.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty. It returns the final
+// virtual time. If simulated processes remain parked with no event that
+// could ever wake them, Run returns with those processes stuck; callers
+// can detect that with Stuck.
+func (k *Kernel) Run() float64 {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t
+// (if the queue empties or the next event is later). It returns the final
+// virtual time, which is always t unless an event pushed time beyond it.
+func (k *Kernel) RunUntil(t float64) float64 {
+	for len(k.events) > 0 {
+		// Peek: heap root is events[0].
+		e := k.events[0]
+		if e.cancelled {
+			heap.Pop(&k.events)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// Stuck returns the names of processes that are parked while no events
+// remain — a deadlock in the simulated system.
+func (k *Kernel) Stuck() []string {
+	if len(k.events) > 0 {
+		// Not necessarily stuck: events might wake them.
+		live := 0
+		for _, e := range k.events {
+			if !e.cancelled {
+				live++
+			}
+		}
+		if live > 0 {
+			return nil
+		}
+	}
+	var names []string
+	for p := range k.parked {
+		names = append(names, p.name)
+	}
+	return names
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

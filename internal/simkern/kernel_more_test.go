@@ -1,0 +1,119 @@
+package simkern
+
+import "testing"
+
+func TestEventTime(t *testing.T) {
+	k := New()
+	e := k.At(3.5, func() {})
+	if e.Time() != 3.5 {
+		t.Fatalf("Time = %g", e.Time())
+	}
+}
+
+func TestCancelIsIdempotentAndPostRunSafe(t *testing.T) {
+	k := New()
+	e := k.At(1, func() {})
+	k.Run()
+	e.Cancel()
+	e.Cancel()
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	k := New()
+	e := k.At(1, func() { t.Fatal("cancelled event ran") })
+	fired := false
+	k.At(2, func() { fired = true })
+	e.Cancel()
+	k.RunUntil(3)
+	if !fired {
+		t.Fatal("live event after cancelled head not executed")
+	}
+}
+
+func TestStuckIgnoresCancelledEvents(t *testing.T) {
+	k := New()
+	k.Go("p", func(p *Proc) { p.Park() })
+	e := k.At(100, func() {})
+	k.Run() // executes the event at t=100, proc still parked
+	_ = e
+	if got := k.Stuck(); len(got) != 1 {
+		t.Fatalf("Stuck = %v", got)
+	}
+	// Now only cancelled events remain pending.
+	e2 := k.At(200, func() {})
+	e2.Cancel()
+	if got := k.Stuck(); len(got) != 1 {
+		t.Fatalf("Stuck with only cancelled events = %v", got)
+	}
+}
+
+func TestStuckNilWhenLiveEventsRemain(t *testing.T) {
+	k := New()
+	p := k.Go("p", func(p *Proc) { p.Park() })
+	k.RunUntil(0.5)
+	k.At(1, func() { p.Unpark() })
+	if got := k.Stuck(); got != nil {
+		t.Fatalf("Stuck reported %v while a wake event is pending", got)
+	}
+	k.Run()
+}
+
+func TestNaNSchedulePanics(t *testing.T) {
+	k := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nan := 0.0
+	nan /= nan
+	k.At(nan, func() {})
+}
+
+func TestNewBarrierInvalidPanics(t *testing.T) {
+	k := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBarrier(k, 0)
+}
+
+func TestProcNameAndKernel(t *testing.T) {
+	k := New()
+	var p *Proc
+	p = k.Go("worker-7", func(q *Proc) {
+		if q.Name() != "worker-7" || q.Kernel() != k {
+			t.Error("Proc identity wrong")
+		}
+	})
+	k.Run()
+	_ = p
+}
+
+func TestManyProcsManyBarrierRounds(t *testing.T) {
+	// Stress: 32 procs, 50 rounds, random-ish sleeps; everyone must
+	// finish and time must advance monotonically per round.
+	k := New()
+	const procs, rounds = 32, 50
+	b := NewBarrier(k, procs)
+	finished := 0
+	for i := 0; i < procs; i++ {
+		d := 0.1 + float64(i)*0.01
+		k.Go("p", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Sleep(d)
+				b.Wait(p)
+			}
+			finished++
+		})
+	}
+	k.Run()
+	if finished != procs {
+		t.Fatalf("finished = %d", finished)
+	}
+	if stuck := k.Stuck(); stuck != nil {
+		t.Fatalf("stuck procs: %v", stuck)
+	}
+}

@@ -1,0 +1,184 @@
+package simkern
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := New()
+	var order []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		k.At(at, func() { order = append(order, at) })
+	}
+	k.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("final time = %g", k.Now())
+	}
+}
+
+func TestSimultaneousEventsRunInScheduleOrder(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(7, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	ran := false
+	e := k.At(1, func() { ran = true })
+	e.Cancel()
+	k.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	k := New()
+	ran := false
+	e := k.At(2, func() { ran = true })
+	k.At(1, func() { e.Cancel() })
+	k.Run()
+	if ran {
+		t.Fatal("event cancelled at t=1 still ran at t=2")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New()
+	k.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(4, func() {})
+	})
+	k.Run()
+}
+
+func TestAfter(t *testing.T) {
+	k := New()
+	var at float64
+	k.At(3, func() {
+		k.After(2, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 5 {
+		t.Fatalf("After fired at %g, want 5", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunUntil(2.5)
+	if len(fired) != 2 || k.Now() != 2.5 {
+		t.Fatalf("fired=%v now=%g", fired, k.Now())
+	}
+	k.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesEmptyKernel(t *testing.T) {
+	k := New()
+	k.RunUntil(10)
+	if k.Now() != 10 {
+		t.Fatalf("now = %g", k.Now())
+	}
+}
+
+func TestPending(t *testing.T) {
+	k := New()
+	k.At(1, func() {})
+	k.At(2, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d", k.Pending())
+	}
+}
+
+// Property: for any set of event times, the kernel executes them in
+// nondecreasing time order and finishes at the max time.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := New()
+		var order []float64
+		maxT := 0.0
+		for _, r := range raw {
+			at := float64(r) / 7.0
+			if at > maxT {
+				maxT = at
+			}
+			k.At(at, func() { order = append(order, at) })
+		}
+		end := k.Run()
+		if !sort.Float64sAreSorted(order) {
+			return false
+		}
+		if len(raw) > 0 && end != maxT {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved scheduling from inside events preserves causality
+// (an event scheduled by another event never runs before its parent).
+func TestCausalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := New()
+		ok := true
+		var spawn func(at float64, depth int)
+		spawn = func(at float64, depth int) {
+			k.At(at, func() {
+				if k.Now() < at {
+					ok = false
+				}
+				if depth < 3 {
+					n := r.Intn(3)
+					for i := 0; i < n; i++ {
+						spawn(k.Now()+r.Float64()*10, depth+1)
+					}
+				}
+			})
+		}
+		for i := 0; i < 5; i++ {
+			spawn(r.Float64()*10, 0)
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+package simkern
+
+import (
+	"testing"
+)
+
+func TestProcSleep(t *testing.T) {
+	k := New()
+	var times []float64
+	k.Go("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(2.5)
+			times = append(times, p.Now())
+		}
+	})
+	k.Run()
+	want := []float64{2.5, 5, 7.5}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		k := New()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(1)
+					log = append(log, name)
+				}
+			})
+		}
+		k.Run()
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("nondeterministic length")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run %d interleaving differs: %v vs %v", i, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	k := New()
+	var wokeAt float64
+	p := k.Go("waiter", func(p *Proc) {
+		p.Park()
+		wokeAt = p.Now()
+	})
+	k.At(4, func() { p.Unpark() })
+	k.Run()
+	if wokeAt != 4 {
+		t.Fatalf("woke at %g, want 4", wokeAt)
+	}
+	if names := k.Stuck(); names != nil {
+		t.Fatalf("stuck: %v", names)
+	}
+}
+
+func TestUnparkNonParkedPanics(t *testing.T) {
+	k := New()
+	p := k.Go("runner", func(p *Proc) { p.Sleep(10) })
+	k.At(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Unpark of non-parked proc did not panic")
+			}
+		}()
+		p.Unpark()
+	})
+	k.Run()
+}
+
+func TestStuckDetection(t *testing.T) {
+	k := New()
+	k.Go("orphan", func(p *Proc) { p.Park() })
+	k.Run()
+	stuck := k.Stuck()
+	if len(stuck) != 1 || stuck[0] != "orphan" {
+		t.Fatalf("Stuck = %v", stuck)
+	}
+}
+
+func TestSleepNegativePanics(t *testing.T) {
+	k := New()
+	panicked := false
+	k.Go("bad", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Sleep(-1)
+	})
+	k.Run()
+	if !panicked {
+		t.Fatal("Sleep(-1) did not panic")
+	}
+}
+
+func TestSleepUntilPastIsNoop(t *testing.T) {
+	k := New()
+	var after float64
+	k.Go("p", func(p *Proc) {
+		p.Sleep(5)
+		p.SleepUntil(3) // in the past: no-op
+		after = p.Now()
+	})
+	k.Run()
+	if after != 5 {
+		t.Fatalf("SleepUntil(past) moved time to %g", after)
+	}
+}
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	k := New()
+	b := NewBarrier(k, 3)
+	var released []float64
+	for i, d := range []float64{1, 5, 9} {
+		_ = i
+		d := d
+		k.Go("p", func(p *Proc) {
+			p.Sleep(d)
+			b.Wait(p)
+			released = append(released, p.Now())
+		})
+	}
+	k.Run()
+	if len(released) != 3 {
+		t.Fatalf("released %d procs", len(released))
+	}
+	for _, r := range released {
+		if r != 9 {
+			t.Fatalf("release times %v, want all 9", released)
+		}
+	}
+}
+
+func TestBarrierIsReusable(t *testing.T) {
+	k := New()
+	b := NewBarrier(k, 2)
+	rounds := make(map[string][]float64)
+	for _, name := range []string{"a", "b"} {
+		name := name
+		k.Go(name, func(p *Proc) {
+			for i := 1; i <= 3; i++ {
+				if name == "a" {
+					p.Sleep(float64(i))
+				} else {
+					p.Sleep(0.5)
+				}
+				b.Wait(p)
+				rounds[name] = append(rounds[name], p.Now())
+			}
+		})
+	}
+	k.Run()
+	if len(rounds["a"]) != 3 || len(rounds["b"]) != 3 {
+		t.Fatalf("rounds = %v", rounds)
+	}
+	for i := range rounds["a"] {
+		if rounds["a"][i] != rounds["b"][i] {
+			t.Fatalf("round %d release times differ: %v", i, rounds)
+		}
+	}
+}
+
+func TestBarrierResize(t *testing.T) {
+	k := New()
+	b := NewBarrier(k, 2)
+	done := 0
+	for i := 0; i < 2; i++ {
+		k.Go("p", func(p *Proc) {
+			b.Wait(p)
+			done++
+		})
+	}
+	k.Run()
+	if done != 2 {
+		t.Fatalf("round 1 released %d", done)
+	}
+	b.Resize(3)
+	for i := 0; i < 3; i++ {
+		k.Go("q", func(p *Proc) {
+			b.Wait(p)
+			done++
+		})
+	}
+	k.Run()
+	if done != 5 {
+		t.Fatalf("after resize released %d total", done)
+	}
+}
+
+func TestBarrierResizeWithWaitersPanics(t *testing.T) {
+	k := New()
+	b := NewBarrier(k, 2)
+	k.Go("w", func(p *Proc) { b.Wait(p) })
+	k.At(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Resize with waiters did not panic")
+			}
+		}()
+		b.Resize(1)
+	})
+	k.Run()
+}
+
+func TestGoStartsAtCurrentTime(t *testing.T) {
+	k := New()
+	var startedAt float64 = -1
+	k.At(3, func() {
+		k.Go("late", func(p *Proc) { startedAt = p.Now() })
+	})
+	k.Run()
+	if startedAt != 3 {
+		t.Fatalf("proc started at %g, want 3", startedAt)
+	}
+}
+
+func TestProcAndEventInterleaving(t *testing.T) {
+	// A proc sleeping and events firing at the same timestamps must both
+	// run, events-first or proc-first per FIFO scheduling order.
+	k := New()
+	var log []string
+	k.Go("p", func(p *Proc) {
+		p.Sleep(1)
+		log = append(log, "proc@1")
+		p.Sleep(1)
+		log = append(log, "proc@2")
+	})
+	k.At(1, func() { log = append(log, "evt@1") })
+	k.At(2, func() { log = append(log, "evt@2") })
+	k.Run()
+	if len(log) != 4 {
+		t.Fatalf("log = %v", log)
+	}
+}

@@ -1,0 +1,170 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming moments, percentiles, histograms and
+// confidence intervals over repeated simulation runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean and variance using Welford's
+// algorithm, plus min and max. The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates x.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N reports the number of samples added.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min reports the smallest sample, or 0 with no samples.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max reports the largest sample, or 0 with no samples.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// StdErr reports the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 reports the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// String summarizes the accumulator for logs.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g [%.4g, %.4g]",
+		a.n, a.Mean(), a.CI95(), a.Min(), a.Max())
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It panics on an empty slice
+// or an out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile out of range: %g", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Values outside
+// the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi      float64
+	Counts      []int
+	Under, Over int
+	n           int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics unless hi > lo and bins > 0.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo || bins <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram [%g, %g) x%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add incorporates x.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // guard float rounding at the upper edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// N reports the total number of samples added, including out-of-range.
+func (h *Histogram) N() int { return h.n }
+
+// BinCenter reports the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction reports the fraction of all samples falling in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.n)
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccumulatorString(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(3)
+	s := a.String()
+	for _, want := range []string{"n=2", "mean=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestStdErrAndStdDev(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{1, 2, 3, 4} {
+		a.Add(x)
+	}
+	if a.StdDev() <= 0 || a.StdErr() != a.StdDev()/2 {
+		t.Fatalf("StdDev=%g StdErr=%g", a.StdDev(), a.StdErr())
+	}
+	var single Accumulator
+	single.Add(5)
+	if single.StdErr() != 0 {
+		t.Fatal("single-sample StdErr != 0")
+	}
+}
+
+func TestHistogramUpperEdgeRounding(t *testing.T) {
+	// A value just inside the top bin must not index out of range even
+	// with float rounding.
+	h := NewHistogram(0, 0.3, 3)
+	h.Add(0.3 - 1e-16)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 1 || h.Over != 0 {
+		t.Fatalf("edge value lost: counts=%v over=%d", h.Counts, h.Over)
+	}
+}

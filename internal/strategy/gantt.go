@@ -1,0 +1,61 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders a host-occupancy timeline of a run: one row per host that
+// ever ran an application process, one column per iteration, each cell
+// showing the rank (0-9, then a-z) that computed there — which makes
+// swaps and relocations visible as rank marks hopping between rows.
+func Gantt(res Result) string {
+	if len(res.Iters) == 0 {
+		return "(no iterations)\n"
+	}
+	used := map[int]bool{}
+	for _, it := range res.Iters {
+		for _, h := range it.Hosts {
+			used[h] = true
+		}
+	}
+	hosts := make([]int, 0, len(used))
+	for h := range used {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+
+	rankMark := func(r int) byte {
+		switch {
+		case r < 10:
+			return byte('0' + r)
+		case r < 36:
+			return byte('a' + r - 10)
+		default:
+			return '+'
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "host occupancy by iteration (%s, %d iterations, %d swaps/relocations)\n",
+		res.Strategy, len(res.Iters), res.Swaps)
+	for _, h := range hosts {
+		fmt.Fprintf(&b, "host %3d |", h)
+		for _, it := range res.Iters {
+			mark := byte('.')
+			for r, hh := range it.Hosts {
+				if hh == h {
+					mark = rankMark(r)
+					break
+				}
+			}
+			b.WriteByte(mark)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", len(res.Iters)))
+	fmt.Fprintf(&b, "%9s  iteration 0..%d; cells show the rank computing on that host\n",
+		"", len(res.Iters)-1)
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+)
+
+func TestGanttEmpty(t *testing.T) {
+	if !strings.Contains(Gantt(Result{}), "no iterations") {
+		t.Fatal("empty gantt wrong")
+	}
+}
+
+func TestGanttStaticRun(t *testing.T) {
+	res := Result{
+		Strategy: "none",
+		Iters: []IterRecord{
+			{Hosts: []int{3, 7}},
+			{Hosts: []int{3, 7}},
+		},
+	}
+	g := Gantt(res)
+	if !strings.Contains(g, "host   3 |00") {
+		t.Fatalf("rank 0 row wrong:\n%s", g)
+	}
+	if !strings.Contains(g, "host   7 |11") {
+		t.Fatalf("rank 1 row wrong:\n%s", g)
+	}
+}
+
+func TestGanttShowsSwapHop(t *testing.T) {
+	res := Result{
+		Strategy: "swap",
+		Swaps:    1,
+		Iters: []IterRecord{
+			{Hosts: []int{1}},
+			{Hosts: []int{1}},
+			{Hosts: []int{5}},
+		},
+	}
+	g := Gantt(res)
+	if !strings.Contains(g, "host   1 |00.") || !strings.Contains(g, "host   5 |..0") {
+		t.Fatalf("swap hop not visible:\n%s", g)
+	}
+}
+
+func TestGanttFromRealRun(t *testing.T) {
+	p := testPlatform(8, loadgen.NewOnOff(0.4), 91)
+	res := Swap{}.Run(p, Scenario{Active: 4, App: app.Default(6), Policy: core.Greedy()})
+	g := Gantt(res)
+	lines := strings.Count(g, "\n")
+	if lines < 5 {
+		t.Fatalf("gantt suspiciously short:\n%s", g)
+	}
+	// Every iteration column exists: row width check on the first host
+	// row.
+	for _, line := range strings.Split(g, "\n") {
+		if strings.HasPrefix(line, "host ") && strings.Contains(line, " |") {
+			cells := line[strings.Index(line, "|")+1:]
+			if len(cells) != 6 {
+				t.Fatalf("row has %d cells, want 6: %q", len(cells), line)
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package strategy
+
+import "repro/internal/platform"
+
+// None is the paper's baseline: launch on the fastest processors at
+// startup with an equal work partition and never adapt.
+type None struct{}
+
+// Name implements Technique.
+func (None) Name() string { return "none" }
+
+// Run implements Technique.
+func (None) Run(p *platform.Platform, sc Scenario) Result {
+	return run(p, sc, "none", equalChunks, nil)
+}

@@ -1,0 +1,326 @@
+// Package strategy implements the four execution techniques compared in
+// the paper's simulation study (Section 6): doing nothing (None), MPI
+// process swapping (Swap), dynamic load balancing (DLB) and
+// checkpoint/restart (CR). Each technique drives the same iterative
+// application over the same simulated platform; they differ only in the
+// initial work partition and in what happens at iteration boundaries.
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/predict"
+	"repro/internal/rng"
+	"repro/internal/simkern"
+)
+
+// Scenario configures one simulated application run.
+type Scenario struct {
+	// Active is N, the number of processes the application computes on.
+	Active int
+	// App is the iterative application.
+	App app.Iterative
+	// Policy gates swap (Swap) and relocation (CR) decisions. The
+	// zero-value policy is replaced by core.Greedy().
+	Policy core.Policy
+	// Estimator predicts host rates from history; nil means the
+	// idealized exact estimator.
+	Estimator predict.RateEstimator
+	// SwapSelection picks the pair-selection rule for the Swap
+	// technique: "" (or "slowest-fastest") is the paper's rule — swap
+	// the slowest active processor(s) for the fastest spare(s); "random"
+	// pairs random actives with random spares that clear the policy's
+	// gates, the ablation DESIGN.md calls out.
+	SwapSelection string
+	// SelectSeed seeds the random selector.
+	SelectSeed int64
+}
+
+func (sc Scenario) policy() core.Policy {
+	if sc.Policy == (core.Policy{}) {
+		return core.Greedy()
+	}
+	return sc.Policy
+}
+
+func (sc Scenario) estimator() predict.RateEstimator {
+	if sc.Estimator == nil {
+		return predict.ExactEstimator{}
+	}
+	return sc.Estimator
+}
+
+// EventKind labels Result events.
+type EventKind string
+
+// Event kinds recorded by the techniques.
+const (
+	EventStartup    EventKind = "startup"
+	EventSwap       EventKind = "swap"
+	EventCheckpoint EventKind = "checkpoint"
+	EventRebalance  EventKind = "rebalance"
+)
+
+// Event is one notable runtime occurrence.
+type Event struct {
+	T      float64
+	Kind   EventKind
+	Detail string
+}
+
+// IterRecord captures one application iteration.
+type IterRecord struct {
+	Index       int
+	Start       float64
+	ComputeDone float64 // when the last process finished computing
+	End         float64 // when the last communication finished (barrier)
+	Overhead    float64 // boundary overhead (swap/checkpoint) after End
+	Hosts       []int   // host ID per rank during this iteration
+}
+
+// Time reports the iteration duration excluding boundary overhead.
+func (r IterRecord) Time() float64 { return r.End - r.Start }
+
+// Result summarizes one run.
+type Result struct {
+	Strategy    string
+	TotalTime   float64 // makespan: startup through last iteration + final overhead
+	StartupTime float64
+	Swaps       int     // processes swapped (Swap) or checkpoint restarts (CR)
+	Overhead    float64 // total boundary overhead seconds
+	Iters       []IterRecord
+	Events      []Event
+	FinalHosts  []int
+}
+
+// MeanIterTime reports the average iteration duration (excluding
+// overhead).
+func (r Result) MeanIterTime() float64 {
+	if len(r.Iters) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, it := range r.Iters {
+		s += it.Time()
+	}
+	return s / float64(len(r.Iters))
+}
+
+// Technique is one of the paper's four approaches.
+type Technique interface {
+	Name() string
+	// Run executes the scenario on the platform. The platform's kernel
+	// must be fresh (or at least idle); Run drives it to completion.
+	Run(p *platform.Platform, sc Scenario) Result
+}
+
+// ByName returns the technique with the given name.
+func ByName(name string) (Technique, error) {
+	switch name {
+	case "none":
+		return None{}, nil
+	case "swap":
+		return Swap{}, nil
+	case "dlb":
+		return DLB{}, nil
+	case "cr":
+		return CR{}, nil
+	}
+	return nil, fmt.Errorf("strategy: unknown technique %q (want none, swap, dlb or cr)", name)
+}
+
+// ---------------------------------------------------------------------------
+// Shared driver.
+
+// driver holds the state of one run while its simulated process executes.
+type driver struct {
+	p         *platform.Platform
+	sc        Scenario
+	hosts     []int     // host ID per rank
+	chunks    []float64 // flops per rank for the coming iteration
+	selStream *rng.Stream
+	res       Result
+}
+
+// boundaryHook runs at each iteration boundary (application barrier); it
+// returns the overhead seconds it consumed (it must advance virtual time
+// itself via proc).
+type boundaryHook func(d *driver, proc *simkern.Proc, iter int, iterTime float64)
+
+// initialChunks computes the starting partition. Equal by default;
+// DLB overrides with a balanced partition.
+type chunkFunc func(d *driver, t float64) []float64
+
+func equalChunks(d *driver, _ float64) []float64 {
+	n := d.sc.Active
+	chunks := make([]float64, n)
+	for i := range chunks {
+		chunks[i] = d.sc.App.WorkPerProcIter
+	}
+	return chunks
+}
+
+// run executes the common iterate/communicate/barrier loop with the
+// technique-specific partitioning and boundary behaviour.
+func run(p *platform.Platform, sc Scenario, name string, chunks chunkFunc, boundary boundaryHook) Result {
+	if err := sc.App.Validate(); err != nil {
+		panic(err)
+	}
+	if sc.Active <= 0 || sc.Active > len(p.Hosts) {
+		panic(fmt.Sprintf("strategy: %d active processes on %d hosts", sc.Active, len(p.Hosts)))
+	}
+	d := &driver{p: p, sc: sc}
+	d.res.Strategy = name
+	if sc.SwapSelection == "random" {
+		d.selStream = rng.NewSource(sc.SelectSeed).Stream("swap-select")
+	}
+	k := p.Kernel
+
+	k.Go("driver-"+name, func(proc *simkern.Proc) {
+		// MPI startup: 3/4 s per allocated process, including the
+		// over-allocated spares.
+		startup := p.StartupTime(len(p.Hosts))
+		proc.Sleep(startup)
+		d.res.StartupTime = startup
+		d.res.Events = append(d.res.Events, Event{T: proc.Now(), Kind: EventStartup,
+			Detail: fmt.Sprintf("%d processes", len(p.Hosts))})
+
+		// Initial schedule: the fastest processors at startup time.
+		d.hosts = p.FastestAt(proc.Now(), sc.Active, nil)
+		d.chunks = chunks(d, proc.Now())
+
+		for it := 0; it < sc.App.Iterations; it++ {
+			start := proc.Now()
+
+			// Compute phase: each rank computes its chunk under its
+			// host's time-varying load.
+			finish := make([]float64, sc.Active)
+			computeDone := start
+			for r := 0; r < sc.Active; r++ {
+				finish[r] = p.Hosts[d.hosts[r]].ComputeFinish(start, d.chunks[r])
+				if finish[r] > computeDone {
+					computeDone = finish[r]
+				}
+			}
+
+			// Communication phase: each rank sends its iteration data
+			// over the shared link as soon as it finishes computing; the
+			// iteration barrier completes when the last transfer lands.
+			end := d.commPhase(proc, finish, sc.App.BytesPerIter)
+			if end < computeDone {
+				end = computeDone
+			}
+			proc.SleepUntil(end)
+
+			rec := IterRecord{
+				Index:       it,
+				Start:       start,
+				ComputeDone: computeDone,
+				End:         end,
+				Hosts:       append([]int(nil), d.hosts...),
+			}
+
+			// Boundary: the technique may swap, rebalance or checkpoint.
+			if boundary != nil && it < sc.App.Iterations-1 {
+				before := proc.Now()
+				boundary(d, proc, it, end-start)
+				rec.Overhead = proc.Now() - before
+				d.res.Overhead += rec.Overhead
+			}
+			d.res.Iters = append(d.res.Iters, rec)
+		}
+		d.res.TotalTime = proc.Now()
+		d.res.FinalHosts = append([]int(nil), d.hosts...)
+	})
+	k.Run()
+	if stuck := k.Stuck(); stuck != nil {
+		panic(fmt.Sprintf("strategy: run %s deadlocked: %v", name, stuck))
+	}
+	return d.res
+}
+
+// commPhase starts one transfer per rank at its ready time and blocks the
+// driver until all have completed, returning the completion time of the
+// last one. Zero-byte communication completes immediately at the latest
+// ready time.
+func (d *driver) commPhase(proc *simkern.Proc, readyAt []float64, bytes float64) float64 {
+	latest := 0.0
+	for _, t := range readyAt {
+		if t > latest {
+			latest = t
+		}
+	}
+	if bytes <= 0 {
+		return latest
+	}
+	k := d.p.Kernel
+	remaining := len(readyAt)
+	endAt := 0.0
+	for _, t := range readyAt {
+		k.At(t, func() {
+			d.p.Link.Start(bytes, func() {
+				remaining--
+				if remaining == 0 {
+					endAt = k.Now()
+					proc.Unpark()
+				}
+			})
+		})
+	}
+	proc.Park()
+	return endAt
+}
+
+// transferAll starts one state transfer per entry in bytes and blocks the
+// driver until all complete (used for swaps and checkpoint write/read
+// phases, which happen inside the application barrier).
+func (d *driver) transferAll(proc *simkern.Proc, count int, bytes float64) {
+	if count <= 0 || bytes <= 0 {
+		return
+	}
+	remaining := count
+	for i := 0; i < count; i++ {
+		d.p.Link.Start(bytes, func() {
+			remaining--
+			if remaining == 0 {
+				proc.Unpark()
+			}
+		})
+	}
+	proc.Park()
+}
+
+// rates returns the estimated rate of every host, using the policy's
+// history window ending at now.
+func (d *driver) rates(now float64) []float64 {
+	est := d.sc.estimator()
+	w := d.sc.policy().HistoryWindow
+	out := make([]float64, len(d.p.Hosts))
+	for i, h := range d.p.Hosts {
+		out[i] = est.Rate(h, now, w)
+	}
+	return out
+}
+
+// spares returns the IDs of allocated hosts not currently active.
+func (d *driver) spares() []int {
+	activeSet := make(map[int]bool, len(d.hosts))
+	for _, h := range d.hosts {
+		activeSet[h] = true
+	}
+	var out []int
+	for _, h := range d.p.Hosts {
+		if !activeSet[h.ID] {
+			out = append(out, h.ID)
+		}
+	}
+	return out
+}
+
+// predictedSwapTime is the paper's swap-cost model on this platform.
+func (d *driver) predictedSwapTime() float64 {
+	return core.SwapTime(d.p.Link.Latency, d.p.Link.Bandwidth, d.sc.App.StateBytes)
+}

@@ -1,0 +1,146 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/nws"
+	"repro/internal/platform"
+	"repro/internal/predict"
+	"repro/internal/rng"
+	"repro/internal/simkern"
+)
+
+func TestCRWithImpossiblePolicyEqualsNone(t *testing.T) {
+	// A policy demanding a 10x per-process improvement never triggers a
+	// checkpoint under ordinary load, so CR degenerates to NONE exactly.
+	pol := core.Policy{Name: "impossible", PaybackThreshold: math.Inf(1), MinProcImprovement: 9}
+	a := app.Default(6)
+	rCR := CR{}.Run(testPlatform(8, loadgen.NewOnOff(0.3), 61),
+		Scenario{Active: 4, App: a, Policy: pol})
+	rNone := None{}.Run(testPlatform(8, loadgen.NewOnOff(0.3), 61),
+		Scenario{Active: 4, App: a})
+	if rCR.Swaps != 0 {
+		t.Fatalf("impossible policy checkpointed %d times", rCR.Swaps)
+	}
+	if rCR.TotalTime != rNone.TotalTime {
+		t.Fatalf("CR-with-impossible-policy %g != none %g", rCR.TotalTime, rNone.TotalTime)
+	}
+}
+
+func TestSwapWithImpossiblePolicyEqualsNone(t *testing.T) {
+	pol := core.Policy{Name: "impossible", PaybackThreshold: math.Inf(1), MinProcImprovement: 9}
+	a := app.Default(6)
+	rSwap := Swap{}.Run(testPlatform(8, loadgen.NewOnOff(0.3), 62),
+		Scenario{Active: 4, App: a, Policy: pol})
+	rNone := None{}.Run(testPlatform(8, loadgen.NewOnOff(0.3), 62),
+		Scenario{Active: 4, App: a})
+	if rSwap.Swaps != 0 || rSwap.TotalTime != rNone.TotalTime {
+		t.Fatalf("swap: %d swaps, %g vs none %g", rSwap.Swaps, rSwap.TotalTime, rNone.TotalTime)
+	}
+}
+
+func TestSwapOverheadAccountedInTotalTime(t *testing.T) {
+	p := testPlatform(8, loadgen.NewOnOff(0.3), 63)
+	res := Swap{}.Run(p, Scenario{Active: 4, App: app.Default(8).WithState(50e6), Policy: core.Greedy()})
+	if res.Swaps == 0 {
+		t.Skip("no swaps at this seed")
+	}
+	// Sum of iteration spans plus overheads plus startup equals total.
+	sum := res.StartupTime
+	for _, it := range res.Iters {
+		sum += it.Time() + it.Overhead
+	}
+	if math.Abs(sum-res.TotalTime) > 1e-6 {
+		t.Fatalf("accounting leak: parts %g vs total %g", sum, res.TotalTime)
+	}
+	// Overhead must be at least swaps × alone-link time for the state.
+	minOverhead := float64(res.Swaps) * 50e6 / 6e6
+	if res.Overhead < minOverhead*0.99 {
+		t.Fatalf("overhead %g below physical floor %g", res.Overhead, minOverhead)
+	}
+}
+
+func TestSampledEstimatorWorksInFullRun(t *testing.T) {
+	est := predict.SampledEstimator{
+		Interval:      10,
+		NewForecaster: func() nws.Forecaster { return nws.NewAdaptive() },
+	}
+	res := Swap{}.Run(testPlatform(8, loadgen.NewOnOff(0.3), 64),
+		Scenario{Active: 4, App: app.Default(6), Policy: core.Safe(), Estimator: est})
+	if len(res.Iters) != 6 {
+		t.Fatalf("run broken with sampled estimator: %d iters", len(res.Iters))
+	}
+}
+
+// Property: on any platform, NONE's total time is bounded below by
+// startup plus the compute a perfectly idle fastest host would need, and
+// every technique's result is internally consistent (monotone iteration
+// records that tile the makespan).
+func TestPhysicalLowerBoundProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := testPlatform(8, loadgen.NewOnOff(0.5), seed)
+		fastest := 0.0
+		for _, h := range p.Hosts {
+			if h.Speed > fastest {
+				fastest = h.Speed
+			}
+		}
+		a := app.Default(5)
+		for _, tech := range []Technique{None{}, Swap{}, DLB{}, CR{}} {
+			res := tech.Run(testPlatform(8, loadgen.NewOnOff(0.5), seed),
+				Scenario{Active: 4, App: a, Policy: core.Greedy()})
+			floor := res.StartupTime + float64(a.Iterations)*a.WorkPerProcIter/fastest
+			if tech.Name() == "dlb" {
+				// DLB splits total work across hosts; its floor is the
+				// aggregate-speed bound.
+				var sum float64
+				for _, h := range p.Hosts {
+					sum += h.Speed
+				}
+				floor = res.StartupTime + float64(a.Iterations)*a.TotalWorkPerIter(4)/sum
+			}
+			if res.TotalTime < floor-1e-6 {
+				t.Fatalf("seed %d %s: total %g beats physical floor %g",
+					seed, tech.Name(), res.TotalTime, floor)
+			}
+			prev := res.StartupTime
+			for i, it := range res.Iters {
+				if it.Start < prev-1e-9 || it.End < it.Start {
+					t.Fatalf("seed %d %s: iteration %d records inconsistent", seed, tech.Name(), i)
+				}
+				prev = it.End + it.Overhead
+			}
+		}
+	}
+}
+
+func TestDLBShedsLoadFromCrushedHost(t *testing.T) {
+	// One active host gets crushed mid-run with no spares available: DLB
+	// (restricted to the initial set, but rebalancing) must beat NONE,
+	// and SWAP — with nowhere to go — cannot help at all.
+	seed := int64(65)
+	p0 := testPlatform(4, nil, seed)
+	victim := p0.FastestAt(0, 1, nil)[0]
+	build := func() *platform.Platform {
+		k := simkern.New()
+		return platform.New(k, platform.Default(4, loadedFirstHost{victim: victim, tail: 3}),
+			rng.NewSource(seed))
+	}
+	a := app.Iterative{Iterations: 10, WorkPerProcIter: 60 * 500e6, BytesPerIter: 1e3}
+	sc := Scenario{Active: 4, App: a, Policy: core.Greedy()}
+
+	rNone := None{}.Run(build(), sc)
+	rDLB := DLB{}.Run(build(), sc)
+	rSwap := Swap{}.Run(build(), sc)
+
+	if rDLB.TotalTime >= rNone.TotalTime*0.95 {
+		t.Fatalf("dlb (%g) did not clearly beat none (%g)", rDLB.TotalTime, rNone.TotalTime)
+	}
+	if rSwap.Swaps != 0 {
+		t.Fatalf("swap with no spares swapped %d times", rSwap.Swaps)
+	}
+}

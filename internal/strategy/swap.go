@@ -1,0 +1,108 @@
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/simkern"
+)
+
+// Swap is MPI process swapping: the application computes on N of the
+// allocated hosts; at every iteration boundary the swap manager estimates
+// all host rates over the policy's history window and applies the policy
+// (core.Policy.Decide) to swap the slowest active processor(s) for the
+// fastest spare(s). Each accepted swap transfers the process state over
+// the shared link while the application is barriered.
+type Swap struct{}
+
+// Name implements Technique.
+func (Swap) Name() string { return "swap" }
+
+// Run implements Technique.
+func (Swap) Run(p *platform.Platform, sc Scenario) Result {
+	return run(p, sc, "swap", equalChunks, swapBoundary)
+}
+
+func swapBoundary(d *driver, proc *simkern.Proc, iter int, iterTime float64) {
+	if iterTime <= 0 {
+		return
+	}
+	now := proc.Now()
+	rates := d.rates(now)
+
+	var active, spare []core.Candidate
+	for r, h := range d.hosts {
+		// Candidate ID is the rank index for actives so a decision can
+		// be applied to the right process; rate is the host's estimate.
+		active = append(active, core.Candidate{ID: r, Rate: rates[h]})
+	}
+	for _, h := range d.spares() {
+		spare = append(spare, core.Candidate{ID: h, Rate: rates[h]})
+	}
+
+	pol := d.sc.policy()
+	var swaps []core.SwapPair
+	if d.selStream != nil {
+		swaps = randomSelect(pol, d.selStream, active, spare, iterTime, d.predictedSwapTime())
+	} else {
+		swaps = pol.Decide(core.DecideInput{
+			Active:   active,
+			Spare:    spare,
+			IterTime: iterTime,
+			SwapTime: d.predictedSwapTime(),
+		})
+	}
+	if len(swaps) == 0 {
+		return
+	}
+
+	// Enact: all state transfers proceed concurrently over the shared
+	// link; the application is paused for the duration.
+	for _, s := range swaps {
+		rank := s.Out.ID
+		from := d.hosts[rank]
+		d.hosts[rank] = s.In.ID
+		d.res.Events = append(d.res.Events, Event{
+			T: now, Kind: EventSwap,
+			Detail: fmt.Sprintf("iter %d: rank %d host %d -> %d (payback %.2f, gain %.0f%%)",
+				iter, rank, from, s.In.ID, s.Payback, s.ProcGain*100),
+		})
+	}
+	d.res.Swaps += len(swaps)
+	d.transferAll(proc, len(swaps), d.sc.App.StateBytes)
+}
+
+// randomSelect is the pair-selection ablation: instead of pairing the
+// slowest active with the fastest spare, it walks actives and spares in
+// random order and accepts each pair that clears the policy's gates. The
+// gates themselves (improvement thresholds, payback) are unchanged, so
+// any difference against the paper's rule is attributable to selection
+// alone.
+func randomSelect(pol core.Policy, st *rng.Stream, active, spare []core.Candidate,
+	iterTime, swapTime float64) []core.SwapPair {
+
+	rates := make([]float64, len(active))
+	for i, c := range active {
+		rates[i] = c.Rate
+	}
+	ai := st.Perm(len(active))
+	si := st.Perm(len(spare))
+	var out []core.SwapPair
+	used := 0
+	for _, a := range ai {
+		if used >= len(si) {
+			break
+		}
+		pair, ok := pol.EvaluatePair(active[a], spare[si[used]], rates, a,
+			iterTime, swapTime, nil)
+		if !ok {
+			continue
+		}
+		out = append(out, pair)
+		rates[a] = spare[si[used]].Rate
+		used++
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package swaprt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+func TestConfigFillDefaults(t *testing.T) {
+	c := Config{}.fill()
+	if c.Probe == nil || c.Clock == nil || c.Logf == nil {
+		t.Fatal("fill left nil hooks")
+	}
+	if c.LinkLatency <= 0 || c.LinkBandwidth <= 0 {
+		t.Fatalf("link defaults: %g, %g", c.LinkLatency, c.LinkBandwidth)
+	}
+	if c.Policy.Name != "greedy" {
+		t.Fatalf("default policy %q", c.Policy.Name)
+	}
+	// Explicit values survive.
+	c2 := Config{LinkLatency: 1, LinkBandwidth: 2, Policy: core.Safe()}.fill()
+	if c2.LinkLatency != 1 || c2.LinkBandwidth != 2 || c2.Policy.Name != "safe" {
+		t.Fatal("fill clobbered explicit values")
+	}
+	// The default probe must return something positive.
+	if c.Probe(0) <= 0 {
+		t.Fatal("default probe non-positive")
+	}
+	if c.Clock() < 0 {
+		t.Fatal("default clock negative")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := mpi.NewWorld(2)
+	for _, active := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Active=%d accepted", active)
+				}
+			}()
+			_ = Run(w, Config{Active: active, Probe: func(int) float64 { return 1 }},
+				func(s *Session) error { return nil })
+		}()
+	}
+}
+
+func TestSessionAccessors(t *testing.T) {
+	w := mpi.NewWorld(3)
+	err := Run(w, Config{Active: 2, Probe: func(int) float64 { return 1 }},
+		func(s *Session) error {
+			if s.WorldSize() != 3 {
+				t.Errorf("WorldSize = %d", s.WorldSize())
+			}
+			if s.Rank() < 0 || s.Rank() > 2 {
+				t.Errorf("Rank = %d", s.Rank())
+			}
+			if s.Active() {
+				// Active set is {0,1}; comm ranks map to world ranks.
+				c := s.Comm()
+				if c.WorldRank(c.Rank()) != s.Rank() {
+					t.Error("comm/world rank mapping broken")
+				}
+				if got := s.stateSizeEstimate(); got <= 0 {
+					t.Errorf("stateSizeEstimate = %g", got)
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	w := mpi.NewWorld(1)
+	_ = Run(w, Config{Active: 1, Probe: func(int) float64 { return 1 }},
+		func(s *Session) error {
+			defer func() {
+				if recover() == nil {
+					t.Error("Register(nil) did not panic")
+				}
+			}()
+			s.Register("x", nil)
+			return nil
+		})
+}

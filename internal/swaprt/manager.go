@@ -1,0 +1,290 @@
+package swaprt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+)
+
+// DecideRequest carries one swap-point measurement set to a decider.
+type DecideRequest struct {
+	Epoch       uint64    `json:"epoch"`
+	Now         float64   `json:"now"` // seconds since application start
+	ActiveSet   []int     `json:"active_set"`
+	ActiveRates []float64 `json:"active_rates"`
+	SpareSet    []int     `json:"spare_set"`
+	SpareRates  []float64 `json:"spare_rates"`
+	IterTime    float64   `json:"iter_time"`
+	SwapTime    float64   `json:"swap_time"` // predicted cost of one swap
+}
+
+// SwapDirective orders the process on Out's host to move to In's host
+// (world ranks).
+type SwapDirective struct {
+	Out int `json:"out"`
+	In  int `json:"in"`
+}
+
+// DecideResponse is the manager's decision.
+type DecideResponse struct {
+	Swaps []SwapDirective `json:"swaps"`
+}
+
+// Decider is the swap manager's decision core. Implementations must be
+// safe for sequential use from one leader at a time.
+type Decider interface {
+	Decide(req DecideRequest) (DecideResponse, error)
+}
+
+// ReportMsg is one asynchronous performance measurement pushed by a swap
+// handler between swap points.
+type ReportMsg struct {
+	Rank int     `json:"rank"`
+	Now  float64 `json:"now"`
+	Rate float64 `json:"rate"`
+}
+
+// Reporter receives asynchronous measurements. Deciders that keep
+// history (LocalDecider, and swapmgr behind RemoteDecider) implement it;
+// the runtime's periodic swap handlers feed it when
+// Config.HandlerInterval is set.
+type Reporter interface {
+	Report(r ReportMsg) error
+}
+
+// LocalDecider applies a core.Policy with per-rank performance history,
+// mirroring the simulator's swap manager.
+type LocalDecider struct {
+	Policy core.Policy
+
+	mu   sync.Mutex
+	hist map[int]*predict.History
+}
+
+// NewLocalDecider builds a decider around the policy.
+func NewLocalDecider(policy core.Policy) *LocalDecider {
+	if err := policy.Validate(); err != nil {
+		panic(err)
+	}
+	return &LocalDecider{Policy: policy, hist: map[int]*predict.History{}}
+}
+
+// Report implements Reporter: the measurement joins the rank's history
+// and will inform future window-mean estimates.
+func (d *LocalDecider) Report(r ReportMsg) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.record(r.Rank, r.Now, r.Rate)
+	return nil
+}
+
+// record appends a measurement (out-of-order times are clamped: handler
+// and swap-point clocks may interleave) and returns the window-mean
+// estimate under the policy's history window.
+func (d *LocalDecider) record(rank int, now, rate float64) float64 {
+	h := d.hist[rank]
+	if h == nil {
+		h = &predict.History{}
+		d.hist[rank] = h
+	}
+	if s, ok := h.Latest(); ok && now < s.T {
+		now = s.T
+	}
+	h.Add(now, rate)
+	if w := d.Policy.HistoryWindow; w > 0 {
+		if m := h.WindowMean(now, w); m > 0 {
+			return m
+		}
+	}
+	return rate
+}
+
+// Decide implements Decider.
+func (d *LocalDecider) Decide(req DecideRequest) (DecideResponse, error) {
+	if len(req.ActiveSet) != len(req.ActiveRates) || len(req.SpareSet) != len(req.SpareRates) {
+		return DecideResponse{}, fmt.Errorf("swaprt: mismatched rate vectors")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	record := func(rank int, rate float64) float64 {
+		return d.record(rank, req.Now, rate)
+	}
+
+	var active, spare []core.Candidate
+	for i, rank := range req.ActiveSet {
+		active = append(active, core.Candidate{ID: rank, Rate: record(rank, req.ActiveRates[i])})
+	}
+	for i, rank := range req.SpareSet {
+		spare = append(spare, core.Candidate{ID: rank, Rate: record(rank, req.SpareRates[i])})
+	}
+	if req.IterTime <= 0 {
+		return DecideResponse{}, nil
+	}
+	pairs := d.Policy.Decide(core.DecideInput{
+		Active:   active,
+		Spare:    spare,
+		IterTime: req.IterTime,
+		SwapTime: req.SwapTime,
+	})
+	var resp DecideResponse
+	for _, p := range pairs {
+		resp.Swaps = append(resp.Swaps, SwapDirective{Out: p.Out.ID, In: p.In.ID})
+	}
+	return resp, nil
+}
+
+// manager coordinates one world's swapping: it parks spare ranks, routes
+// swap-in assignments to them, and funnels leader decisions through the
+// configured Decider.
+type manager struct {
+	cfg     Config
+	decider Decider
+
+	mu       sync.Mutex
+	assignCh map[int]chan assignment
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// assignment tells a parked spare to become active.
+type assignment struct {
+	epoch     uint64
+	activeSet []int
+	stateFrom int // world rank that will send the registered state
+}
+
+func newManager(size int, cfg Config, decider Decider) *manager {
+	m := &manager{
+		cfg:      cfg,
+		decider:  decider,
+		assignCh: map[int]chan assignment{},
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		m.assignCh[i] = make(chan assignment, 4)
+	}
+	return m
+}
+
+// wait parks a spare until it is swapped in or the application finishes.
+func (m *manager) wait(rank int) (assignment, bool) {
+	select {
+	case a := <-m.assignCh[rank]:
+		return a, true
+	case <-m.done:
+		// Drain a late assignment racing with completion.
+		select {
+		case a := <-m.assignCh[rank]:
+			return a, true
+		default:
+			return assignment{}, false
+		}
+	}
+}
+
+// assign wakes the given spare.
+func (m *manager) assign(rank int, a assignment) {
+	m.assignCh[rank] <- a
+}
+
+// finish releases all parked spares. Idempotent.
+func (m *manager) finish() {
+	m.doneOnce.Do(func() { close(m.done) })
+}
+
+// decide is called by the active leader with active measurements; it
+// handles forced evictions, probes spares and consults the decider for
+// the rest.
+func (m *manager) decide(epoch uint64, now float64, activeSet []int, activeRates []float64,
+	allRanks int, iterTime, swapTime float64) (DecideResponse, error) {
+
+	isActive := map[int]bool{}
+	for _, r := range activeSet {
+		isActive[r] = true
+	}
+	var spareSet []int
+	var spareRates []float64
+	for r := 0; r < allRanks; r++ {
+		if !isActive[r] {
+			spareSet = append(spareSet, r)
+			spareRates = append(spareRates, m.cfg.Probe(r))
+		}
+	}
+
+	// Forced evictions first: an evicted host's process must leave no
+	// matter what the policy thinks; it takes the fastest spare whose
+	// host is not itself evicted.
+	var forced []SwapDirective
+	usedSpare := map[int]bool{}
+	if m.cfg.Evicted != nil {
+		for _, out := range activeSet {
+			if !m.cfg.Evicted(out) {
+				continue
+			}
+			best, bestRate := -1, -1.0
+			for i, sp := range spareSet {
+				if usedSpare[sp] || m.cfg.Evicted(sp) {
+					continue
+				}
+				if spareRates[i] > bestRate {
+					best, bestRate = sp, spareRates[i]
+				}
+			}
+			if best < 0 {
+				return DecideResponse{}, fmt.Errorf(
+					"swaprt: rank %d evicted but no spare available", out)
+			}
+			usedSpare[best] = true
+			forced = append(forced, SwapDirective{Out: out, In: best})
+		}
+	}
+
+	// The decider sees only the unforced remainder.
+	req := DecideRequest{
+		Epoch:    epoch,
+		Now:      now,
+		IterTime: iterTime,
+		SwapTime: swapTime,
+	}
+	forcedOut := map[int]bool{}
+	for _, f := range forced {
+		forcedOut[f.Out] = true
+	}
+	for i, r := range activeSet {
+		if !forcedOut[r] {
+			req.ActiveSet = append(req.ActiveSet, r)
+			req.ActiveRates = append(req.ActiveRates, activeRates[i])
+		}
+	}
+	for i, r := range spareSet {
+		if usedSpare[r] {
+			continue
+		}
+		// An evicted host is no target for voluntary swaps either.
+		if m.cfg.Evicted != nil && m.cfg.Evicted(r) {
+			continue
+		}
+		req.SpareSet = append(req.SpareSet, r)
+		req.SpareRates = append(req.SpareRates, spareRates[i])
+	}
+	resp, err := m.decider.Decide(req)
+	if err != nil {
+		return DecideResponse{}, err
+	}
+	// Validate: Out must be active, In must be spare, no rank reused.
+	used := map[int]bool{}
+	for _, f := range forced {
+		used[f.Out], used[f.In] = true, true
+	}
+	for _, s := range resp.Swaps {
+		if !isActive[s.Out] || isActive[s.In] || used[s.Out] || used[s.In] {
+			return DecideResponse{}, fmt.Errorf("swaprt: invalid swap directive %+v", s)
+		}
+		used[s.Out], used[s.In] = true, true
+	}
+	resp.Swaps = append(forced, resp.Swaps...)
+	return resp, nil
+}

@@ -1,0 +1,136 @@
+package swaprt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// wireRequest is the swapmgr wire envelope: one request per connection,
+// either a decision query or an asynchronous handler report.
+type wireRequest struct {
+	Kind   string         `json:"kind"` // "decide" or "report"
+	Decide *DecideRequest `json:"decide,omitempty"`
+	Report *ReportMsg     `json:"report,omitempty"`
+}
+
+// wireResponse answers a wireRequest.
+type wireResponse struct {
+	Decide *DecideResponse `json:"decide,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// RemoteDecider consults a swap-manager daemon (cmd/swapmgr) over TCP:
+// one JSON-encoded request per connection. This is the paper's "possibly
+// remote process that is responsible for collecting information and
+// making swapping decisions". It implements both Decider and Reporter.
+type RemoteDecider struct {
+	Addr string
+	// Timeout bounds each round trip; zero means 5 s.
+	Timeout time.Duration
+}
+
+func (d RemoteDecider) roundTrip(req wireRequest) (wireResponse, error) {
+	timeout := d.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", d.Addr, timeout)
+	if err != nil {
+		return wireResponse{}, fmt.Errorf("swaprt: dial manager: %w", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return wireResponse{}, fmt.Errorf("swaprt: send manager request: %w", err)
+	}
+	var resp wireResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return wireResponse{}, fmt.Errorf("swaprt: read manager response: %w", err)
+	}
+	if resp.Error != "" {
+		return wireResponse{}, fmt.Errorf("swaprt: manager: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Decide implements Decider.
+func (d RemoteDecider) Decide(req DecideRequest) (DecideResponse, error) {
+	resp, err := d.roundTrip(wireRequest{Kind: "decide", Decide: &req})
+	if err != nil {
+		return DecideResponse{}, err
+	}
+	if resp.Decide == nil {
+		return DecideResponse{}, nil
+	}
+	return *resp.Decide, nil
+}
+
+// Report implements Reporter.
+func (d RemoteDecider) Report(r ReportMsg) error {
+	_, err := d.roundTrip(wireRequest{Kind: "report", Report: &r})
+	return err
+}
+
+// ServeManager runs a swap-manager service on the listener: each
+// connection carries one JSON request (decide or report) answered by one
+// JSON response. It returns when the listener closes. If the decider also
+// implements Reporter, handler reports are folded into its history;
+// otherwise they are acknowledged and dropped.
+func ServeManager(ln net.Listener, decider Decider, logf func(string, ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, decider, logf)
+	}
+}
+
+func serveConn(conn net.Conn, decider Decider, logf func(string, ...any)) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var req wireRequest
+	if err := json.NewDecoder(conn).Decode(&req); err != nil {
+		logf("swapmgr: bad request from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	var resp wireResponse
+	switch req.Kind {
+	case "decide":
+		if req.Decide == nil {
+			resp.Error = "decide request without body"
+			break
+		}
+		out, err := decider.Decide(*req.Decide)
+		if err != nil {
+			logf("swapmgr: decide error: %v", err)
+			resp.Error = err.Error()
+			break
+		}
+		if len(out.Swaps) > 0 {
+			logf("swapmgr: epoch %d iter %.2fs -> %d swaps %v",
+				req.Decide.Epoch, req.Decide.IterTime, len(out.Swaps), out.Swaps)
+		}
+		resp.Decide = &out
+	case "report":
+		if req.Report == nil {
+			resp.Error = "report request without body"
+			break
+		}
+		if rep, ok := decider.(Reporter); ok {
+			if err := rep.Report(*req.Report); err != nil {
+				resp.Error = err.Error()
+			}
+		}
+	default:
+		resp.Error = fmt.Sprintf("unknown request kind %q", req.Kind)
+	}
+	if err := json.NewEncoder(conn).Encode(resp); err != nil {
+		logf("swapmgr: write response: %v", err)
+	}
+}

@@ -1,0 +1,405 @@
+package swaprt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// tagState is the reserved user tag for state transfers on the world
+// communicator. Applications using swaprt must keep this tag free on the
+// world communicator (they normally communicate on s.Comm() anyway).
+const tagState = 0x5a17
+
+// Config configures the swapping runtime for one application run.
+type Config struct {
+	// Active is N, the number of ranks the application computes on; the
+	// remaining world ranks are over-allocated spares.
+	Active int
+	// Policy gates swap decisions (used when Decider is nil).
+	Policy core.Policy
+	// Decider overrides the decision engine; nil means a LocalDecider
+	// around Policy. Use RemoteDecider to consult a swapmgr daemon.
+	Decider Decider
+	// Probe measures the current performance of the host running the
+	// given world rank (any increasing measure, e.g. flop/s). It is the
+	// swap-handler duty and must be safe for concurrent use. Defaults to
+	// DefaultProbe (which, with all ranks in one process, reports
+	// near-identical rates — tests and demos inject synthetic probes).
+	Probe func(worldRank int) float64
+	// LinkLatency and LinkBandwidth parameterize the predicted swap cost
+	// (core.SwapTime). Defaults: 0.5 ms and 100 MB/s.
+	LinkLatency   float64
+	LinkBandwidth float64
+	// Clock returns seconds since application start; defaults to wall
+	// time. Injectable for tests.
+	Clock func() float64
+	// Logf, if set, receives runtime diagnostics.
+	Logf func(format string, args ...any)
+	// HandlerInterval, when positive, starts one swap handler per rank —
+	// the paper's per-process companion — that probes its host every
+	// interval and pushes the measurement to the decider's history, so
+	// decisions see load changes that happen between swap points. The
+	// decider must implement Reporter for the reports to land.
+	HandlerInterval time.Duration
+	// Evicted reports that the given rank's host has been reclaimed by
+	// its owner (the Condor-style eviction the paper proposes combining
+	// with swapping): at the next swap point the process is force-moved
+	// to a spare regardless of the policy's thresholds. Nil means no
+	// evictions. Must be safe for concurrent use.
+	Evicted func(worldRank int) bool
+}
+
+func (c Config) fill() Config {
+	if c.Probe == nil {
+		c.Probe = func(int) float64 { return DefaultProbe() }
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 0.0005
+	}
+	if c.LinkBandwidth == 0 {
+		c.LinkBandwidth = 100e6
+	}
+	if c.Clock == nil {
+		start := time.Now()
+		c.Clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Policy == (core.Policy{}) {
+		c.Policy = core.Greedy()
+	}
+	return c
+}
+
+// Session is one rank's handle on the swapping runtime. All methods must
+// be called from the rank's own goroutine (inside the Run body).
+type Session struct {
+	r   *mpi.Rank
+	cfg Config
+	mgr *manager
+
+	state     *stateSet
+	active    bool
+	done      bool
+	epoch     uint64
+	activeSet []int
+	comm      *mpi.Comm
+	iterStart float64
+	swaps     int // swaps this rank participated in (in or out)
+}
+
+// Rank reports the world rank.
+func (s *Session) Rank() int { return s.r.Rank() }
+
+// WorldSize reports the total (over-allocated) world size.
+func (s *Session) WorldSize() int { return s.r.Size() }
+
+// Active reports whether this rank currently runs the application.
+func (s *Session) Active() bool { return s.active }
+
+// Done reports whether the application has finished (set for spares when
+// the actives complete).
+func (s *Session) Done() bool { return s.done }
+
+// Swaps reports how many swaps this rank took part in.
+func (s *Session) Swaps() int { return s.swaps }
+
+// Comm returns the private communicator of the current active set. It
+// panics if the rank is not active — inactive ranks must not communicate.
+func (s *Session) Comm() *mpi.Comm {
+	if !s.active {
+		panic(fmt.Sprintf("swaprt: rank %d is not active", s.r.Rank()))
+	}
+	return s.comm
+}
+
+// Register adds a variable to the process state transferred on swap. All
+// ranks must register the same names (they run the same program) before
+// the first SwapPoint. The pointer's contents are gob-encoded.
+func (s *Session) Register(name string, ptr any) { s.state.register(name, ptr) }
+
+// Run executes body on every rank of the world under the swapping
+// runtime. Initially ranks [0, cfg.Active) are active and the rest are
+// spares parked inside their first SwapPoint call. The canonical body is
+//
+//	iter := 0
+//	s.Register("iter", &iter)
+//	s.Register("x", &x)
+//	for !s.Done() && iter < N {
+//	    if s.Active() {
+//	        // compute one iteration on x; communicate via s.Comm()
+//	        iter++
+//	    }
+//	    if err := s.SwapPoint(); err != nil { return err }
+//	}
+func Run(world *mpi.World, cfg Config, body func(s *Session) error) error {
+	cfg = cfg.fill()
+	if cfg.Active <= 0 || cfg.Active > world.Size() {
+		panic(fmt.Sprintf("swaprt: %d active of %d ranks", cfg.Active, world.Size()))
+	}
+	decider := cfg.Decider
+	if decider == nil {
+		decider = NewLocalDecider(cfg.Policy)
+	}
+	mgr := newManager(world.Size(), cfg, decider)
+
+	// Swap handlers: periodic out-of-band probing, one per rank.
+	if cfg.HandlerInterval > 0 {
+		if rep, ok := decider.(Reporter); ok {
+			stop := make(chan struct{})
+			defer close(stop)
+			for rank := 0; rank < world.Size(); rank++ {
+				go handlerLoop(rank, cfg, rep, stop)
+			}
+		} else {
+			cfg.Logf("swaprt: HandlerInterval set but decider does not accept reports")
+		}
+	}
+
+	initial := make([]int, cfg.Active)
+	for i := range initial {
+		initial[i] = i
+	}
+
+	return world.Run(func(r *mpi.Rank) error {
+		s := &Session{
+			r:         r,
+			cfg:       cfg,
+			mgr:       mgr,
+			state:     newStateSet(),
+			activeSet: append([]int(nil), initial...),
+			iterStart: cfg.Clock(),
+		}
+		for _, m := range initial {
+			if m == r.Rank() {
+				s.active = true
+			}
+		}
+		if s.active {
+			s.comm = r.CommOf(initial, 0)
+		}
+		// Whatever happens, release parked spares when this rank exits:
+		// actives finishing normally end the application; an active
+		// erroring out must not leave spares blocked.
+		defer func() {
+			if s.active || s.done {
+				mgr.finish()
+			}
+		}()
+		err := body(s)
+		if err != nil {
+			mgr.finish()
+		}
+		return err
+	})
+}
+
+// SwapPoint is the runtime's MPI_Swap(): a full barrier of the active
+// set, a measurement report, a policy decision, and — if swaps are
+// ordered — the state transfers and communicator rebuild. Spare ranks
+// block inside SwapPoint until they are swapped in or the application
+// finishes.
+func (s *Session) SwapPoint() error {
+	if s.done {
+		return nil
+	}
+	if !s.active {
+		return s.swapPointSpare()
+	}
+	return s.swapPointActive()
+}
+
+func (s *Session) swapPointSpare() error {
+	a, ok := s.mgr.wait(s.r.Rank())
+	if !ok {
+		s.done = true
+		return nil
+	}
+	// Swapped in: receive the registered state from the outgoing rank on
+	// the world communicator.
+	world := s.r.World()
+	data, _, err := world.Recv(a.stateFrom, tagState)
+	if err != nil {
+		return fmt.Errorf("swaprt: rank %d state recv: %w", s.r.Rank(), err)
+	}
+	if err := s.state.decode(data); err != nil {
+		return err
+	}
+	s.epoch = a.epoch
+	s.activeSet = append([]int(nil), a.activeSet...)
+	s.comm = s.r.CommOf(s.activeSet, s.epoch)
+	s.active = true
+	s.swaps++
+	s.iterStart = s.cfg.Clock()
+	s.cfg.Logf("rank %d swapped in (epoch %d, state %dB, from rank %d)",
+		s.r.Rank(), s.epoch, len(data), a.stateFrom)
+	return nil
+}
+
+// planMsg is the decision broadcast from the active leader.
+type planMsg struct {
+	Swaps    []SwapDirective
+	NewSet   []int
+	NewEpoch uint64
+}
+
+func (s *Session) swapPointActive() error {
+	now := s.cfg.Clock()
+	iterTime := now - s.iterStart
+
+	// Measurement report: every active rank probes its own host; the
+	// vector is allgathered so the leader can decide and every member
+	// stays in lockstep.
+	rate := s.cfg.Probe(s.r.Rank())
+	rates, err := s.comm.AllGatherFloat64(rate)
+	if err != nil {
+		return err
+	}
+
+	var plan planMsg
+	if s.comm.Rank() == 0 {
+		swapTime := core.SwapTime(s.cfg.LinkLatency, s.cfg.LinkBandwidth, s.stateSizeEstimate())
+		resp, err := s.mgr.decide(s.epoch, now, s.activeSet, rates, s.r.Size(), iterTime, swapTime)
+		if err != nil {
+			return err
+		}
+		plan.Swaps = resp.Swaps
+		if len(resp.Swaps) > 0 {
+			plan.NewSet = append([]int(nil), s.activeSet...)
+			for _, sw := range resp.Swaps {
+				for i, m := range plan.NewSet {
+					if m == sw.Out {
+						plan.NewSet[i] = sw.In
+					}
+				}
+			}
+			plan.NewEpoch = s.epoch + 1
+		}
+	}
+	planBytes, err := encodePlan(plan)
+	if err != nil {
+		return err
+	}
+	if planBytes, err = s.comm.Bcast(0, planBytes); err != nil {
+		return err
+	}
+	if plan, err = decodePlan(planBytes); err != nil {
+		return err
+	}
+	if len(plan.Swaps) == 0 {
+		s.iterStart = s.cfg.Clock()
+		return nil
+	}
+
+	// Leader wakes the incoming spares.
+	if s.comm.Rank() == 0 {
+		for _, sw := range plan.Swaps {
+			s.mgr.assign(sw.In, assignment{
+				epoch:     plan.NewEpoch,
+				activeSet: plan.NewSet,
+				stateFrom: sw.Out,
+			})
+		}
+	}
+
+	// Am I swapped out?
+	for _, sw := range plan.Swaps {
+		if sw.Out == s.r.Rank() {
+			data, err := s.state.encode()
+			if err != nil {
+				return err
+			}
+			if err := s.r.World().Send(sw.In, tagState, data); err != nil {
+				return fmt.Errorf("swaprt: rank %d state send: %w", s.r.Rank(), err)
+			}
+			s.cfg.Logf("rank %d swapped out (epoch %d, state %dB, to rank %d)",
+				s.r.Rank(), plan.NewEpoch, len(data), sw.In)
+			s.active = false
+			s.comm = nil
+			s.swaps++
+			return nil
+		}
+	}
+
+	// Continuing active member: adopt the new set and communicator.
+	s.activeSet = append([]int(nil), plan.NewSet...)
+	s.epoch = plan.NewEpoch
+	s.comm = s.r.CommOf(s.activeSet, s.epoch)
+	s.iterStart = s.cfg.Clock()
+	return nil
+}
+
+// handlerLoop is one rank's swap handler: probe every interval, push to
+// the decider's history, stop when the run ends.
+func handlerLoop(rank int, cfg Config, rep Reporter, stop <-chan struct{}) {
+	t := time.NewTicker(cfg.HandlerInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			msg := ReportMsg{Rank: rank, Now: cfg.Clock(), Rate: cfg.Probe(rank)}
+			if err := rep.Report(msg); err != nil {
+				cfg.Logf("swaprt: handler %d report: %v", rank, err)
+			}
+		}
+	}
+}
+
+// SaveCheckpoint writes the registered state to w — the application-level
+// checkpointing the paper notes "can be implemented with limited effort
+// for iterative applications". Call it from an active rank at an
+// iteration boundary; the blob restores with LoadCheckpoint in a later
+// run that registered the same names.
+func (s *Session) SaveCheckpoint(w io.Writer) error {
+	data, err := s.state.encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// LoadCheckpoint restores registered state previously written by
+// SaveCheckpoint.
+func (s *Session) LoadCheckpoint(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return s.state.decode(data)
+}
+
+// stateSizeEstimate measures the encoded size of the registered state for
+// the swap-cost prediction.
+func (s *Session) stateSizeEstimate() float64 {
+	data, err := s.state.encode()
+	if err != nil {
+		return 0
+	}
+	return float64(len(data))
+}
+
+func encodePlan(p planMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("swaprt: encode plan: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePlan(data []byte) (planMsg, error) {
+	var p planMsg
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return planMsg{}, fmt.Errorf("swaprt: decode plan: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,223 @@
+package swaprt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The checkpoint store models the paper's checkpoint/restart technique
+// for the live runtime: "application state information is written to a
+// central location. Upon application restart, the checkpoint is read by
+// each process." The store is a TCP blob service keyed by string; each
+// rank writes its registered state under its own key and a restarted run
+// reads it back.
+//
+// Wire format, one operation per connection: a JSON header line
+// {"op":"put"|"get","key":...,"size":N} followed by N raw bytes for put;
+// the response is a JSON line {"ok":...,"size":N,"error":...} followed by
+// N raw bytes for get.
+
+type storeHeader struct {
+	Op   string `json:"op"`
+	Key  string `json:"key"`
+	Size int64  `json:"size,omitempty"`
+}
+
+type storeReply struct {
+	OK    bool   `json:"ok"`
+	Size  int64  `json:"size,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// maxCheckpointBytes bounds a single blob (1 GiB, the top of the paper's
+// process-size range) so a malformed header cannot trigger an absurd
+// allocation.
+const maxCheckpointBytes = 1 << 30
+
+// StoreServer is an in-memory central checkpoint store.
+type StoreServer struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	logf  func(string, ...any)
+}
+
+// NewStoreServer creates an empty store. logf may be nil.
+func NewStoreServer(logf func(string, ...any)) *StoreServer {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &StoreServer{blobs: map[string][]byte{}, logf: logf}
+}
+
+// Keys reports the stored keys (for inspection and tests).
+func (s *StoreServer) Keys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}
+
+// Serve accepts connections until the listener closes.
+func (s *StoreServer) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *StoreServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
+	dec := json.NewDecoder(conn)
+	var hdr storeHeader
+	if err := dec.Decode(&hdr); err != nil {
+		s.logf("ckptstore: bad header from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	reply := func(r storeReply, body []byte) {
+		data, _ := json.Marshal(r)
+		if _, err := conn.Write(data); err != nil {
+			return
+		}
+		if body != nil {
+			_, _ = conn.Write(body)
+		}
+	}
+	switch hdr.Op {
+	case "put":
+		if hdr.Size < 0 || hdr.Size > maxCheckpointBytes {
+			reply(storeReply{Error: fmt.Sprintf("size %d out of range", hdr.Size)}, nil)
+			return
+		}
+		body, err := readBody(dec, conn, hdr.Size)
+		if err != nil {
+			reply(storeReply{Error: "short body"}, nil)
+			return
+		}
+		s.mu.Lock()
+		s.blobs[hdr.Key] = body
+		s.mu.Unlock()
+		s.logf("ckptstore: put %q (%d bytes)", hdr.Key, hdr.Size)
+		reply(storeReply{OK: true}, nil)
+	case "get":
+		s.mu.Lock()
+		body, ok := s.blobs[hdr.Key]
+		s.mu.Unlock()
+		if !ok {
+			reply(storeReply{Error: fmt.Sprintf("no checkpoint %q", hdr.Key)}, nil)
+			return
+		}
+		reply(storeReply{OK: true, Size: int64(len(body))}, body)
+	default:
+		reply(storeReply{Error: fmt.Sprintf("unknown op %q", hdr.Op)}, nil)
+	}
+}
+
+// readBody reads exactly size raw bytes that follow a JSON header decoded
+// by dec from conn: the decoder may have buffered part (or all) of the
+// body past the JSON value, so drain its buffer before the connection.
+func readBody(dec *json.Decoder, conn io.Reader, size int64) ([]byte, error) {
+	body := make([]byte, size)
+	if _, err := io.ReadFull(io.MultiReader(dec.Buffered(), conn), body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// StoreClient talks to a checkpoint store.
+type StoreClient struct {
+	Addr    string
+	Timeout time.Duration // per operation; zero means 30 s
+}
+
+func (c StoreClient) dial() (net.Conn, time.Duration, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+	if err != nil {
+		return nil, 0, fmt.Errorf("swaprt: dial checkpoint store: %w", err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	return conn, timeout, nil
+}
+
+// Put stores data under key, replacing any previous blob.
+func (c StoreClient) Put(key string, data []byte) error {
+	conn, _, err := c.dial()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	hdr, _ := json.Marshal(storeHeader{Op: "put", Key: key, Size: int64(len(data))})
+	if _, err := conn.Write(hdr); err != nil {
+		return fmt.Errorf("swaprt: store put: %w", err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("swaprt: store put body: %w", err)
+	}
+	var rep storeReply
+	if err := json.NewDecoder(conn).Decode(&rep); err != nil {
+		return fmt.Errorf("swaprt: store put reply: %w", err)
+	}
+	if !rep.OK {
+		return fmt.Errorf("swaprt: store put: %s", rep.Error)
+	}
+	return nil
+}
+
+// Get fetches the blob stored under key.
+func (c StoreClient) Get(key string) ([]byte, error) {
+	conn, _, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	hdr, _ := json.Marshal(storeHeader{Op: "get", Key: key})
+	if _, err := conn.Write(hdr); err != nil {
+		return nil, fmt.Errorf("swaprt: store get: %w", err)
+	}
+	dec := json.NewDecoder(conn)
+	var rep storeReply
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("swaprt: store get reply: %w", err)
+	}
+	if !rep.OK {
+		return nil, fmt.Errorf("swaprt: store get: %s", rep.Error)
+	}
+	if rep.Size < 0 || rep.Size > maxCheckpointBytes {
+		return nil, fmt.Errorf("swaprt: store get: size %d out of range", rep.Size)
+	}
+	body, err := readBody(dec, conn, rep.Size)
+	if err != nil {
+		return nil, fmt.Errorf("swaprt: store get body: %w", err)
+	}
+	return body, nil
+}
+
+// CheckpointTo writes the session's registered state to the store under
+// key (typically including the world rank, e.g. "app1/rank3").
+func (s *Session) CheckpointTo(client StoreClient, key string) error {
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		return err
+	}
+	return client.Put(key, buf.Bytes())
+}
+
+// RestoreFrom reads the blob under key and restores the registered state.
+func (s *Session) RestoreFrom(client StoreClient, key string) error {
+	data, err := client.Get(key)
+	if err != nil {
+		return err
+	}
+	return s.LoadCheckpoint(bytes.NewReader(data))
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders numeric series as an ASCII chart — enough to eyeball the
+// reproduced figures in a terminal without leaving the toolchain.
+type Plot struct {
+	Title          string
+	XLabel, YLabel string
+	// Width and Height are the chart body size in characters; zero
+	// values default to 72x20.
+	Width, Height int
+	X             []float64
+	Series        []PlotSeries
+}
+
+// PlotSeries is one line of the chart; Y must align with the plot's X.
+type PlotSeries struct {
+	Name string
+	Y    []float64
+}
+
+// seriesMarkers are assigned to series in order.
+var seriesMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render writes the chart.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if len(p.X) == 0 || len(p.Series) == 0 {
+		return fmt.Errorf("trace: empty plot")
+	}
+	for _, s := range p.Series {
+		if len(s.Y) != len(p.X) {
+			return fmt.Errorf("trace: series %q has %d points for %d xs", s.Name, len(s.Y), len(p.X))
+		}
+	}
+
+	xmin, xmax := minMax(p.X)
+	var ys []float64
+	for _, s := range p.Series {
+		ys = append(ys, s.Y...)
+	}
+	ymin, ymax := minMax(ys)
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int((ymax - y) / (ymax - ymin) * float64(height-1))
+		return clampInt(r, 0, height-1)
+	}
+	for si, s := range p.Series {
+		m := seriesMarkers[si%len(seriesMarkers)]
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			grid[row(y)][col(p.X[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yw := 10
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = compactNum(ymax)
+		case height - 1:
+			label = compactNum(ymin)
+		case (height - 1) / 2:
+			label = compactNum((ymax + ymin) / 2)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yw, label, string(line))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yw, "", strings.Repeat("-", width))
+	lo, hi := compactNum(xmin), compactNum(xmax)
+	pad := width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s\n", yw, "", lo, strings.Repeat(" ", pad), hi)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", yw, "", p.XLabel, p.YLabel)
+	}
+	var legend []string
+	for si, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarkers[si%len(seriesMarkers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", yw, "", strings.Join(legend, "    "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	return lo, hi
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func compactNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-2:
+		return fmt.Sprintf("%.2g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

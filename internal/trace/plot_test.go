@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderToString(t *testing.T, p *Plot) string {
+	t.Helper()
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestPlotRendersMarkersAndLegend(t *testing.T) {
+	p := &Plot{
+		Title:  "demo",
+		XLabel: "t",
+		YLabel: "v",
+		Width:  40,
+		Height: 10,
+		X:      []float64{0, 1, 2, 3},
+		Series: []PlotSeries{
+			{Name: "up", Y: []float64{0, 1, 2, 3}},
+			{Name: "down", Y: []float64{3, 2, 1, 0}},
+		},
+	}
+	out := renderToString(t, p)
+	for _, want := range []string{"demo", "* up", "+ down", "x: t   y: v"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestPlotGeometry(t *testing.T) {
+	// A rising line: its marker must appear in the bottom-left and
+	// top-right regions.
+	p := &Plot{
+		Width: 20, Height: 5,
+		X:      []float64{0, 10},
+		Series: []PlotSeries{{Name: "s", Y: []float64{0, 100}}},
+	}
+	out := renderToString(t, p)
+	lines := strings.Split(out, "\n")
+	// Chart body lines are the first 5 (no title set).
+	top, bottom := lines[0], lines[4]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max point not on top row:\n%s", out)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("min point not on bottom row:\n%s", out)
+	}
+	if strings.Index(bottom, "*") > strings.Index(top, "*") {
+		t.Fatalf("rising line rendered falling:\n%s", out)
+	}
+}
+
+func TestPlotAxisLabels(t *testing.T) {
+	p := &Plot{
+		Width: 30, Height: 6,
+		X:      []float64{5, 25},
+		Series: []PlotSeries{{Name: "s", Y: []float64{100, 200}}},
+	}
+	out := renderToString(t, p)
+	for _, want := range []string{"200", "100", "5.00", "25.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing axis label %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := &Plot{
+		Width: 10, Height: 4,
+		X:      []float64{0, 1},
+		Series: []PlotSeries{{Name: "flat", Y: []float64{7, 7}}},
+	}
+	if out := renderToString(t, p); !strings.Contains(out, "*") {
+		t.Fatalf("flat series vanished:\n%s", out)
+	}
+}
+
+func TestPlotSkipsNaN(t *testing.T) {
+	p := &Plot{
+		Width: 10, Height: 4,
+		X:      []float64{0, 1, 2},
+		Series: []PlotSeries{{Name: "s", Y: []float64{1, math.NaN(), 2}}},
+	}
+	renderToString(t, p) // must not panic
+}
+
+func TestPlotErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (&Plot{}).Render(&b); err == nil {
+		t.Fatal("empty plot rendered")
+	}
+	p := &Plot{X: []float64{1}, Series: []PlotSeries{{Name: "s", Y: []float64{1, 2}}}}
+	if err := p.Render(&b); err == nil {
+		t.Fatal("mismatched series rendered")
+	}
+}
+
+func TestCompactNum(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234:    "1234",
+		12.345:  "12.35",
+		2.5e7:   "2.5e+07",
+		0.00001: "1e-05",
+	}
+	for v, want := range cases {
+		if got := compactNum(v); got != want {
+			t.Errorf("compactNum(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

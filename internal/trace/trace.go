@@ -1,0 +1,121 @@
+// Package trace provides the tabular output layer of the experiment
+// harness: simple tables with CSV, aligned-text and JSON encoders, used
+// to emit every figure's data series.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rectangular result table.
+type Table struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// AddRow appends a row; it panics if the width does not match the header.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Header) != 0 && len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("trace: row width %d != header width %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddFloatRow appends a row of formatted floats after a leading label.
+func (t *Table) AddFloatRow(label string, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, FormatFloat(v))
+	}
+	t.AddRow(cells...)
+}
+
+// FormatFloat renders a float compactly for tables.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 1e-3:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// WriteCSV encodes the table as CSV, title as a comment line.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON encodes the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// WriteText renders an aligned, human-readable table.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		line(t.Header)
+		var dashes []string
+		for _, w := range widths {
+			dashes = append(dashes, strings.Repeat("-", w))
+		}
+		line(dashes)
+	}
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "demo", Header: []string{"x", "y"}}
+	t.AddRow("1", "2")
+	t.AddFloatRow("3", 4.5)
+	return t
+}
+
+func TestAddRowWidthMismatchPanics(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{"# demo", "x,y", "1,2", "3,4.50"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != "demo" || len(back.Rows) != 2 || back.Rows[1][1] != "4.50" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, "demo") || !strings.Contains(got, "----") {
+		t.Fatalf("text table malformed:\n%s", got)
+	}
+	// Columns must align: every data line has the same 'y' column offset.
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {1.5, "1.50"}, {2e6, "2e+06"}, {0.0001, "0.0001"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTableWithoutHeader(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("a", "b", "c")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "a,b,c") {
+		t.Fatalf("headerless CSV: %q", b.String())
+	}
+	var txt strings.Builder
+	if err := tb.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "a  b  c") {
+		t.Fatalf("headerless text: %q", txt.String())
+	}
+}
