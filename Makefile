@@ -13,7 +13,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# The concurrency-heavy packages (transport, runtime) run under the race
+# detector as part of the default test target.
+test: race
 	$(GO) test ./...
 
 race:

@@ -7,7 +7,10 @@
 package repro
 
 import (
+	"bytes"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -252,6 +255,85 @@ func BenchmarkMPIPingPong(b *testing.B) {
 				}
 				if err := c.Send(0, 0, payload); err != nil {
 					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTCPSendDistinctRanks measures head-of-line blocking in the
+// TCP transport: rank 0 continuously sends large (64 KiB) messages to
+// rank 1 while the timed loop sends tiny messages to rank 2. When the
+// transport serializes every send behind one global lock, each tiny send
+// waits for a full large-message encode; with per-destination
+// connections the two streams are independent.
+func BenchmarkTCPSendDistinctRanks(b *testing.B) {
+	w, err := mpi.NewTCPWorld(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flood := bytes.Repeat([]byte{1}, 64<<10)
+	small := []byte("ping")
+	var stop atomic.Bool
+	err = w.Run(func(r *mpi.Rank) error {
+		c := r.World()
+		// Handshake: establish both connections and their read loops
+		// before any sustained traffic (the seed transport deadlocks
+		// otherwise — see TestTCPFloodFromStart).
+		if r.Rank() == 0 {
+			for _, dst := range []int{1, 2} {
+				if err := c.Send(dst, 2, nil); err != nil {
+					return err
+				}
+				if _, _, err := c.Recv(dst, 2); err != nil {
+					return err
+				}
+			}
+		} else {
+			if _, _, err := c.Recv(0, 2); err != nil {
+				return err
+			}
+			if err := c.Send(0, 2, nil); err != nil {
+				return err
+			}
+		}
+		switch r.Rank() {
+		case 0:
+			floodDone := make(chan error, 1)
+			go func() {
+				for !stop.Load() {
+					if err := c.Send(1, 0, flood); err != nil {
+						floodDone <- err
+						return
+					}
+				}
+				floodDone <- c.Send(1, 1, nil) // tell rank 1 to stop
+			}()
+			time.Sleep(50 * time.Millisecond) // let the flood get going
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(2, 0, small); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+			stop.Store(true)
+			if err := <-floodDone; err != nil {
+				return err
+			}
+			return c.Send(2, 1, nil) // tell rank 2 to stop
+		case 1, 2: // drain until the stop marker arrives
+			for {
+				_, st, err := c.Recv(0, mpi.AnyTag)
+				if err != nil {
+					return err
+				}
+				if st.Tag == 1 {
+					return nil
 				}
 			}
 		}

@@ -16,8 +16,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/mpi"
 	"repro/internal/report"
+	"repro/internal/swaprt"
 )
 
 func main() {
@@ -31,8 +34,16 @@ func main() {
 		outDir  = flag.String("out", "", "write per-figure files into this directory instead of stdout")
 		list    = flag.Bool("list", false, "list every experiment ID and exit")
 		check   = flag.Bool("check", false, "run the full claim battery (report.Claims) and exit non-zero on failure")
+		live    = flag.Bool("live", false, "run a small live-runtime demo (internal/swaprt over TCP) and print its stats")
 	)
 	flag.Parse()
+
+	if *live {
+		if err := liveDemo(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *check {
 		opt := experiment.Options{Seeds: *seeds, Iterations: *iters, BaseSeed: *seed, Quick: *quick}
@@ -146,6 +157,70 @@ func write(fig *experiment.FigureResult, format string, f *os.File) error {
 		return fig.Plot().Render(f)
 	}
 	return fmt.Errorf("swapexp: unknown format %q", format)
+}
+
+// liveDemo complements the simulation sweeps with a miniature run of the
+// real runtime: 4 ranks over the TCP transport, 2 active, a synthetic
+// probe that makes rank 1's host collapse partway through, and a greedy
+// policy that swaps it out. It prints the RunStats (including the MPI
+// per-rank transport counters) so the instrumented path is exercised
+// end to end from the command line.
+func liveDemo() error {
+	const (
+		ranks  = 4
+		active = 2
+		iters  = 30
+	)
+	world, err := mpi.NewTCPWorld(ranks)
+	if err != nil {
+		return err
+	}
+	iterCount := 0
+	probe := func(rank int) float64 {
+		// Rank 1's host degrades sharply after the first third of the run.
+		if rank == 1 && iterCount > iters/3 {
+			return 100
+		}
+		return 1000
+	}
+	cfg := swaprt.Config{
+		Active: active,
+		Policy: core.Greedy(),
+		Probe:  probe,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}
+	fmt.Printf("live demo: %d ranks (TCP), %d active, %d iterations, greedy policy\n",
+		ranks, active, iters)
+	stats, err := swaprt.RunWithStats(world, cfg, func(s *swaprt.Session) error {
+		iter := 0
+		acc := 0.0
+		s.Register("iter", &iter)
+		s.Register("acc", &acc)
+		for !s.Done() && iter < iters {
+			if s.Active() {
+				v, err := s.Comm().AllReduceFloat64(mpi.OpSum, 1)
+				if err != nil {
+					return err
+				}
+				acc += v
+				iter++
+				if s.Comm().Rank() == 0 {
+					iterCount = iter
+				}
+			}
+			if err := s.SwapPoint(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live demo stats: %s\n", stats)
+	return nil
 }
 
 func fatal(err error) {

@@ -156,7 +156,7 @@ func main() {
 	start := time.Now()
 	var mu sync.Mutex
 	totalSwaps := 0
-	err = swaprt.Run(world, cfg, func(s *swaprt.Session) error {
+	stats, err := swaprt.RunWithStats(world, cfg, func(s *swaprt.Session) error {
 		iter := 0
 		acc := 0.0
 		pad := make([]byte, *state)
@@ -195,6 +195,7 @@ func main() {
 	}
 	fmt.Printf("completed %d iterations on %d/%d ranks in %.2fs with %d swap participations\n",
 		*iters, *active, *ranks, time.Since(start).Seconds(), totalSwaps)
+	fmt.Printf("runtime stats: %s\n", stats)
 }
 
 func busyWait(d time.Duration) {

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"time"
 )
 
 // worldCommID identifies the world communicator.
@@ -88,9 +89,18 @@ func (c *Comm) send(to, tag int, data []byte) error {
 		return fmt.Errorf("mpi: send to comm rank %d of %d", to, len(c.members))
 	}
 	d := append([]byte(nil), data...)
-	return c.w.transport.send(envelope{
+	ctr := c.w.counters[c.me]
+	start := time.Now()
+	err := c.w.transport.send(envelope{
 		Comm: c.id, Src: c.me, Dst: c.members[to], Tag: tag, Data: d,
 	})
+	ctr.sendBlock.Add(int64(time.Since(start)))
+	if err != nil {
+		return err
+	}
+	ctr.msgsSent.Add(1)
+	ctr.bytesSent.Add(uint64(len(d)))
+	return nil
 }
 
 // Recv blocks until a message from comm rank `from` (or AnySource) with
@@ -115,6 +125,9 @@ func (c *Comm) recv(from, tag int) ([]byte, Status, error) {
 	if err != nil {
 		return nil, Status{}, err
 	}
+	ctr := c.w.counters[c.me]
+	ctr.msgsRecv.Add(1)
+	ctr.bytesRecv.Add(uint64(len(env.Data)))
 	src := -1
 	for i, m := range c.members {
 		if m == env.Src {
@@ -128,6 +141,7 @@ func (c *Comm) recv(from, tag int) ([]byte, Status, error) {
 // Barrier blocks until every member has entered it.
 func (c *Comm) Barrier() error {
 	c.checkMember()
+	c.w.counters[c.me].barriers.Add(1)
 	me := c.Rank()
 	if me == 0 {
 		for i := 1; i < c.Size(); i++ {
@@ -153,6 +167,7 @@ func (c *Comm) Barrier() error {
 // returns the received copy (root returns its own data).
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	c.checkMember()
+	c.w.counters[c.me].bcasts.Add(1)
 	n := c.Size()
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: bcast root %d of %d", root, n)
@@ -193,6 +208,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // indexed by comm rank, others receive nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	c.checkMember()
+	c.w.counters[c.me].gathers.Add(1)
 	n := c.Size()
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: gather root %d of %d", root, n)
@@ -231,6 +247,7 @@ var (
 // result, others get 0.
 func (c *Comm) ReduceFloat64(root int, op ReduceOp, x float64) (float64, error) {
 	c.checkMember()
+	c.w.counters[c.me].reduces.Add(1)
 	if c.Rank() != root {
 		return 0, c.send(root, tagReduce, encodeFloat(x))
 	}

@@ -128,7 +128,17 @@ func (m *mailbox) close() {
 type World struct {
 	size      int
 	boxes     []*mailbox
+	counters  []*rankCounters
 	transport transport
+}
+
+func newWorldShell(size int) *World {
+	w := &World{size: size}
+	for i := 0; i < size; i++ {
+		w.boxes = append(w.boxes, newMailbox())
+		w.counters = append(w.counters, &rankCounters{})
+	}
+	return w
 }
 
 // NewWorld creates an in-process world of the given size.
@@ -136,10 +146,7 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: NewWorld(%d)", size))
 	}
-	w := &World{size: size}
-	for i := 0; i < size; i++ {
-		w.boxes = append(w.boxes, newMailbox())
-	}
+	w := newWorldShell(size)
 	w.transport = &inprocTransport{w: w}
 	return w
 }
@@ -151,10 +158,7 @@ func NewTCPWorld(size int) (*World, error) {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: NewTCPWorld(%d)", size))
 	}
-	w := &World{size: size}
-	for i := 0; i < size; i++ {
-		w.boxes = append(w.boxes, newMailbox())
-	}
+	w := newWorldShell(size)
 	tr, err := newTCPTransport(w)
 	if err != nil {
 		return nil, err

@@ -87,6 +87,7 @@ func (c *Comm) AllGather(data []byte) ([][]byte, error) {
 // members.
 func (c *Comm) ReduceFloat64s(root int, op ReduceOp, xs []float64) ([]float64, error) {
 	c.checkMember()
+	c.w.counters[c.me].reduces.Add(1)
 	if c.Rank() != root {
 		return nil, c.send(root, tagReduce, packFloats(xs))
 	}

@@ -1,0 +1,128 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// scriptedExchange runs a fixed point-to-point script and checks the
+// counters match it exactly: rank 0 sends two messages (3 B and 5 B) to
+// rank 1, rank 1 replies once (7 B), rank 2 stays silent.
+func scriptedExchange(t *testing.T, w *World, tcp bool) {
+	t.Helper()
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		switch r.Rank() {
+		case 0:
+			if err := c.Send(1, 1, []byte("abc")); err != nil {
+				return err
+			}
+			if err := c.Send(1, 2, []byte("defgh")); err != nil {
+				return err
+			}
+			_, _, err := c.Recv(1, 3)
+			return err
+		case 1:
+			if _, _, err := c.Recv(0, 1); err != nil {
+				return err
+			}
+			if _, _, err := c.Recv(0, 2); err != nil {
+				return err
+			}
+			return c.Send(0, 3, []byte("reply??"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := w.Stats()
+	want := []RankStats{
+		{MsgsSent: 2, BytesSent: 8, MsgsRecv: 1, BytesRecv: 7},
+		{MsgsSent: 1, BytesSent: 7, MsgsRecv: 2, BytesRecv: 8},
+		{},
+	}
+	for rank, wr := range want {
+		got := ws.PerRank[rank]
+		got.SendBlock = 0 // timing is asserted separately
+		if got != wr {
+			t.Errorf("rank %d stats = %+v, want %+v", rank, got, wr)
+		}
+	}
+	if tcp {
+		// A TCP send encodes and writes a socket; that can't take zero time.
+		if ws.PerRank[0].SendBlock <= 0 {
+			t.Errorf("rank 0 SendBlock = %v, want > 0", ws.PerRank[0].SendBlock)
+		}
+	}
+	total := ws.Total()
+	if total.MsgsSent != total.MsgsRecv || total.BytesSent != total.BytesRecv {
+		t.Errorf("total sent/recv mismatch: %+v", total)
+	}
+}
+
+func TestStatsScriptedExchangeInproc(t *testing.T) {
+	scriptedExchange(t, NewWorld(3), false)
+}
+
+func TestStatsScriptedExchangeTCP(t *testing.T) {
+	w, err := NewTCPWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scriptedExchange(t, w, true)
+}
+
+// TestStatsCollectives checks the collective-entry counters: every member
+// of a collective counts one entry regardless of its role in it.
+func TestStatsCollectives(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if _, err := c.Bcast(0, []byte{1}); err != nil {
+			return err
+		}
+		if _, err := c.Gather(0, []byte{byte(r.Rank())}); err != nil {
+			return err
+		}
+		// AllReduce = one reduce + one bcast on every member.
+		if _, err := c.AllReduceFloat64(OpSum, 1); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, rs := range w.Stats().PerRank {
+		if rs.Barriers != 1 || rs.Bcasts != 2 || rs.Gathers != 1 || rs.Reduces != 1 {
+			t.Errorf("rank %d collectives = barrier %d bcast %d gather %d reduce %d",
+				rank, rs.Barriers, rs.Bcasts, rs.Gathers, rs.Reduces)
+		}
+	}
+}
+
+func TestWorldStatsString(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			return r.World().Send(1, 0, []byte("hi"))
+		}
+		_, _, err := r.World().Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats().String()
+	for _, want := range []string{"rank", "total", fmt.Sprintf("%d", 2)} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -5,25 +5,59 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
+// TCP transport tunables. Dials are bounded (attempts with backoff) and
+// every write carries a deadline, so a dead or wedged peer fails the one
+// send that targets it instead of hanging the whole mesh.
+const (
+	tcpDialTimeout  = 2 * time.Second
+	tcpDialAttempts = 3
+	tcpDialBackoff  = 10 * time.Millisecond // doubles per retry
+	tcpWriteTimeout = 10 * time.Second
+)
+
+// tcpConn is the sender side of one destination rank's connection. Each
+// destination has its own lock, so sends to distinct ranks proceed in
+// parallel and a send blocked on one peer (slow reader, dead host) never
+// delays traffic to any other peer. The connection is dialed lazily by
+// the first send that needs it.
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
 // tcpTransport carries envelopes over a loopback TCP mesh: one listener
-// per rank, with sender-side connections dialed lazily and cached. Each
+// per rank, a lazily dialed per-destination connection on the sender
+// side, and one reader goroutine per accepted connection. Each
 // connection is a one-directional gob stream of envelopes.
+//
+// Locking: per-destination tcpConn.mu serializes sends to that rank
+// only; tcpTransport.mu guards the shutdown flag and the socket
+// registry. The accept/read path never takes a tcpConn.mu, so a sender
+// blocked mid-write cannot stall connection setup (the seed design had a
+// single global lock, which deadlocked as soon as a sender filled a
+// socket buffer before the peer's read loop was registered).
 type tcpTransport struct {
 	w         *World
 	listeners []net.Listener
 	addrs     []string
+	conns     []*tcpConn // indexed by destination rank
 
-	mu    sync.Mutex
-	conns map[int]*gob.Encoder // destination rank -> encoder
-	socks []net.Conn
+	mu    sync.Mutex // guards socks and done
+	socks map[net.Conn]struct{}
 	done  bool
 	wg    sync.WaitGroup
 }
 
 func newTCPTransport(w *World) (*tcpTransport, error) {
-	t := &tcpTransport{w: w, conns: map[int]*gob.Encoder{}}
+	t := &tcpTransport{w: w, socks: map[net.Conn]struct{}{}}
+	t.conns = make([]*tcpConn, w.size)
+	for i := range t.conns {
+		t.conns[i] = &tcpConn{}
+	}
 	for i := 0; i < w.size; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -39,6 +73,30 @@ func newTCPTransport(w *World) (*tcpTransport, error) {
 	return t, nil
 }
 
+func (t *tcpTransport) closed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// register adds a live socket to the shutdown registry; it reports false
+// (and leaves the socket unregistered) if the transport already closed.
+func (t *tcpTransport) register(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return false
+	}
+	t.socks[conn] = struct{}{}
+	return true
+}
+
+func (t *tcpTransport) deregister(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.socks, conn)
+	t.mu.Unlock()
+}
+
 func (t *tcpTransport) acceptLoop(rank int, ln net.Listener) {
 	defer t.wg.Done()
 	for {
@@ -52,15 +110,20 @@ func (t *tcpTransport) acceptLoop(rank int, ln net.Listener) {
 			_ = conn.Close()
 			return
 		}
-		t.socks = append(t.socks, conn)
-		t.mu.Unlock()
+		t.socks[conn] = struct{}{}
+		// Add inside the lock: close() flips done under the same lock
+		// before it waits, so it either sees this reader or this branch
+		// never runs.
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.readLoop(rank, conn)
 	}
 }
 
 func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
 	defer t.wg.Done()
+	defer t.deregister(conn)
+	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	for {
 		var env envelope
@@ -71,28 +134,67 @@ func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
 	}
 }
 
+// dial connects to the destination rank with a bounded number of
+// attempts. The returned connection is registered for shutdown.
+func (t *tcpTransport) dial(dst int) (net.Conn, error) {
+	backoff := tcpDialBackoff
+	var lastErr error
+	for attempt := 0; attempt < tcpDialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", t.addrs[dst], tcpDialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !t.register(conn) {
+			_ = conn.Close()
+			return nil, ErrWorldClosed
+		}
+		return conn, nil
+	}
+	return nil, fmt.Errorf("mpi: dial rank %d (%d attempts): %w", dst, tcpDialAttempts, lastErr)
+}
+
 func (t *tcpTransport) send(env envelope) error {
 	if env.Dst < 0 || env.Dst >= t.w.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", env.Dst)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.done {
+	cc := t.conns[env.Dst]
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if t.closed() {
 		return ErrWorldClosed
 	}
-	enc, ok := t.conns[env.Dst]
-	if !ok {
-		conn, err := net.Dial("tcp", t.addrs[env.Dst])
+	if cc.c == nil {
+		conn, err := t.dial(env.Dst)
 		if err != nil {
-			return fmt.Errorf("mpi: dial rank %d: %w", env.Dst, err)
+			return err
 		}
-		t.socks = append(t.socks, conn)
-		enc = gob.NewEncoder(conn)
-		t.conns[env.Dst] = enc
+		cc.c = conn
+		cc.enc = gob.NewEncoder(conn)
 	}
-	return enc.Encode(env)
+	_ = cc.c.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+	if err := cc.enc.Encode(env); err != nil {
+		// A failed write poisons the gob stream; drop the connection so
+		// the next send to this rank re-dials instead of inheriting it.
+		t.deregister(cc.c)
+		_ = cc.c.Close()
+		cc.c, cc.enc = nil, nil
+		if t.closed() {
+			return ErrWorldClosed
+		}
+		return fmt.Errorf("mpi: send to rank %d: %w", env.Dst, err)
+	}
+	return nil
 }
 
+// close shuts the transport down deterministically: after it returns, no
+// accept or read goroutine is running and every socket is closed. A
+// sender blocked in a write is unblocked by its socket closing and
+// returns ErrWorldClosed.
 func (t *tcpTransport) close() error {
 	t.mu.Lock()
 	if t.done {
@@ -103,7 +205,7 @@ func (t *tcpTransport) close() error {
 	for _, ln := range t.listeners {
 		_ = ln.Close()
 	}
-	for _, c := range t.socks {
+	for c := range t.socks {
 		_ = c.Close()
 	}
 	t.mu.Unlock()

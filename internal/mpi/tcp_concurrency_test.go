@@ -1,0 +1,195 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runWithin fails the test if the world's Run does not complete in d —
+// the deadlock regressions below must fail fast, not eat the whole test
+// binary timeout.
+func runWithin(t *testing.T, w *World, d time.Duration, fn func(r *Rank) error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(fn) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(d):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("world.Run still blocked after %v\n%s", d, buf[:n])
+	}
+}
+
+// TestTCPFloodFromStart is the regression for the seed transport's
+// deadlock: with a single global send lock shared with the accept path, a
+// sender that filled the kernel socket buffers before the peer's read
+// loop was registered blocked in write while holding the lock the accept
+// loop needed — permanently. The fixed transport must survive a large
+// flood as the very first traffic on the mesh, with no handshake.
+func TestTCPFloodFromStart(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		n       = 64
+		payload = 1 << 16 // 64 KiB, comfortably past loopback socket buffers
+	)
+	data := bytes.Repeat([]byte{0xab}, payload)
+	runWithin(t, w, 30*time.Second, func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 0, data); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			d, _, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if len(d) != payload {
+				return fmt.Errorf("message %d truncated to %d bytes", i, len(d))
+			}
+		}
+		return nil
+	})
+}
+
+// TestTCPConcurrentSends hammers every pair with concurrent senders per
+// rank. Run with -race: it exercises the per-destination locks, the lazy
+// dials racing each other, and the atomic stats counters.
+func TestTCPConcurrentSends(t *testing.T) {
+	const (
+		size    = 4
+		senders = 3  // concurrent sender goroutines per (src, dst) pair
+		msgs    = 25 // messages per sender goroutine
+	)
+	w, err := NewTCPWorld(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{1}, 512)
+	runWithin(t, w, 30*time.Second, func(r *Rank) error {
+		c := r.World()
+		var wg sync.WaitGroup
+		errCh := make(chan error, size*senders)
+		for dst := 0; dst < size; dst++ {
+			if dst == r.Rank() {
+				continue
+			}
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(dst int) {
+					defer wg.Done()
+					for i := 0; i < msgs; i++ {
+						if err := c.Send(dst, 7, payload); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(dst)
+			}
+		}
+		// Receive everything addressed to me while my senders run.
+		want := (size - 1) * senders * msgs
+		for i := 0; i < want; i++ {
+			if _, _, err := c.Recv(AnySource, 7); err != nil {
+				return err
+			}
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return err
+		}
+		return nil
+	})
+	total := w.Stats().Total()
+	wantMsgs := uint64(size * (size - 1) * senders * msgs)
+	if total.MsgsSent != wantMsgs || total.MsgsRecv != wantMsgs {
+		t.Fatalf("stats: sent %d recv %d, want %d", total.MsgsSent, total.MsgsRecv, wantMsgs)
+	}
+	if total.BytesSent != wantMsgs*512 || total.BytesRecv != wantMsgs*512 {
+		t.Fatalf("stats: sentB %d recvB %d, want %d", total.BytesSent, total.BytesRecv, wantMsgs*512)
+	}
+}
+
+// TestTCPDeadPeerFailsSend kills one rank's listener before any
+// connection exists: a send to the dead rank must fail within the bounded
+// dial retries, and traffic to live ranks must be unaffected.
+func TestTCPDeadPeerFailsSend(t *testing.T) {
+	w, err := NewTCPWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tr := w.transport.(*tcpTransport)
+	_ = tr.listeners[2].Close() // rank 2's host dies before anyone dialed it
+
+	start := time.Now()
+	err = tr.send(envelope{Comm: worldCommID, Src: 0, Dst: 2, Tag: 0, Data: []byte("x")})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("send to dead rank succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("send to dead rank took %v, want bounded failure", elapsed)
+	}
+	// The mesh is not poisoned: rank 1 is alive and reachable.
+	if err := tr.send(envelope{Comm: worldCommID, Src: 0, Dst: 1, Tag: 0, Data: []byte("y")}); err != nil {
+		t.Fatalf("send to live rank after dead-peer failure: %v", err)
+	}
+	if env, err := w.boxes[1].pop(worldCommID, 0, 0); err != nil || string(env.Data) != "y" {
+		t.Fatalf("live rank delivery: %v %q", err, env.Data)
+	}
+}
+
+// TestTCPNoGoroutineLeak checks that close() is deterministic: after
+// Run returns (which closes the world), every accept and read goroutine
+// has exited.
+func TestTCPNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		w, err := NewTCPWorld(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(r *Rank) error {
+			c := r.World()
+			if _, err := c.AllReduceFloat64(OpSum, 1); err != nil {
+				return err
+			}
+			return c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The transport's close() waits for its goroutines, so no settle loop
+	// should be needed; allow a short one for runtime bookkeeping only.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -12,16 +12,24 @@ func TestConfigFillDefaults(t *testing.T) {
 	if c.Probe == nil || c.Clock == nil || c.Logf == nil {
 		t.Fatal("fill left nil hooks")
 	}
-	if c.LinkLatency <= 0 || c.LinkBandwidth <= 0 {
-		t.Fatalf("link defaults: %g, %g", c.LinkLatency, c.LinkBandwidth)
+	if c.LinkLatency == nil || *c.LinkLatency <= 0 || c.LinkBandwidth == nil || *c.LinkBandwidth <= 0 {
+		t.Fatalf("link defaults: %v, %v", c.LinkLatency, c.LinkBandwidth)
 	}
 	if c.Policy.Name != "greedy" {
 		t.Fatalf("default policy %q", c.Policy.Name)
 	}
 	// Explicit values survive.
-	c2 := Config{LinkLatency: 1, LinkBandwidth: 2, Policy: core.Safe()}.fill()
-	if c2.LinkLatency != 1 || c2.LinkBandwidth != 2 || c2.Policy.Name != "safe" {
+	lat, bw := 1.0, 2.0
+	c2 := Config{LinkLatency: &lat, LinkBandwidth: &bw, Policy: core.Safe()}.fill()
+	if *c2.LinkLatency != 1 || *c2.LinkBandwidth != 2 || c2.Policy.Name != "safe" {
 		t.Fatal("fill clobbered explicit values")
+	}
+	// Explicit zero is a genuine value (idealized zero-latency link), not
+	// "unset": fill must not replace it with the default.
+	zero := 0.0
+	c3 := Config{LinkLatency: &zero, LinkBandwidth: &bw}.fill()
+	if *c3.LinkLatency != 0 {
+		t.Fatalf("explicit zero LinkLatency replaced with %g", *c3.LinkLatency)
 	}
 	// The default probe must return something positive.
 	if c.Probe(0) <= 0 {

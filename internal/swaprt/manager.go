@@ -185,9 +185,19 @@ func (m *manager) wait(rank int) (assignment, bool) {
 	}
 }
 
-// assign wakes the given spare.
-func (m *manager) assign(rank int, a assignment) {
-	m.assignCh[rank] <- a
+// assign wakes the given spare. The channel has room for a few queued
+// assignments (a spare can lag behind the leader by a couple of swap
+// points); if it is full, the runtime's invariant that each spare is
+// assigned at most once per parked period is broken, and blocking here
+// would deadlock the leader — so fail loudly instead.
+func (m *manager) assign(rank int, a assignment) error {
+	select {
+	case m.assignCh[rank] <- a:
+		return nil
+	default:
+		return fmt.Errorf("swaprt: assignment channel for rank %d full (%d pending)",
+			rank, cap(m.assignCh[rank]))
+	}
 }
 
 // finish releases all parked spares. Idempotent.

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -33,9 +34,11 @@ type Config struct {
 	// near-identical rates — tests and demos inject synthetic probes).
 	Probe func(worldRank int) float64
 	// LinkLatency and LinkBandwidth parameterize the predicted swap cost
-	// (core.SwapTime). Defaults: 0.5 ms and 100 MB/s.
-	LinkLatency   float64
-	LinkBandwidth float64
+	// (core.SwapTime), in seconds and bytes/s. nil selects the defaults
+	// (0.5 ms and 100 MB/s); a pointer to zero is honored as a genuine
+	// zero (e.g. an idealized zero-latency link).
+	LinkLatency   *float64
+	LinkBandwidth *float64
 	// Clock returns seconds since application start; defaults to wall
 	// time. Injectable for tests.
 	Clock func() float64
@@ -59,11 +62,13 @@ func (c Config) fill() Config {
 	if c.Probe == nil {
 		c.Probe = func(int) float64 { return DefaultProbe() }
 	}
-	if c.LinkLatency == 0 {
-		c.LinkLatency = 0.0005
+	if c.LinkLatency == nil {
+		lat := 0.0005
+		c.LinkLatency = &lat
 	}
-	if c.LinkBandwidth == 0 {
-		c.LinkBandwidth = 100e6
+	if c.LinkBandwidth == nil {
+		bw := 100e6
+		c.LinkBandwidth = &bw
 	}
 	if c.Clock == nil {
 		start := time.Now()
@@ -78,12 +83,49 @@ func (c Config) fill() Config {
 	return c
 }
 
+// RunStats summarizes one Run: swap activity, leader decision latency,
+// state-transfer volume, and the per-rank MPI transport counters.
+type RunStats struct {
+	SwapPoints int // swap-point entries by active ranks
+	Swaps      int // swap directives executed (out/in pairs)
+	Decisions  int // leader decisions taken
+
+	DecideTime    time.Duration // total wall time inside Decider.Decide
+	StateBytes    int64         // registered-state bytes shipped between ranks
+	StateSendTime time.Duration // total encode+send time on swapped-out ranks
+	StateRecvTime time.Duration // total recv+decode time on swapped-in ranks
+
+	MPI mpi.WorldStats // per-rank transport counters at the end of the run
+}
+
+// String renders a one-paragraph summary followed by the MPI table.
+func (rs RunStats) String() string {
+	return fmt.Sprintf(
+		"swap points %d, swaps %d, decisions %d (%s total), state %dB shipped (send %s, recv %s)\n%s",
+		rs.SwapPoints, rs.Swaps, rs.Decisions, rs.DecideTime.Round(time.Microsecond),
+		rs.StateBytes, rs.StateSendTime.Round(time.Microsecond),
+		rs.StateRecvTime.Round(time.Microsecond), rs.MPI)
+}
+
+// statsCollector accumulates RunStats contributions from every rank.
+type statsCollector struct {
+	mu sync.Mutex
+	rs RunStats
+}
+
+func (sc *statsCollector) add(f func(*RunStats)) {
+	sc.mu.Lock()
+	f(&sc.rs)
+	sc.mu.Unlock()
+}
+
 // Session is one rank's handle on the swapping runtime. All methods must
 // be called from the rank's own goroutine (inside the Run body).
 type Session struct {
-	r   *mpi.Rank
-	cfg Config
-	mgr *manager
+	r     *mpi.Rank
+	cfg   Config
+	mgr   *manager
+	stats *statsCollector
 
 	state     *stateSet
 	active    bool
@@ -93,6 +135,13 @@ type Session struct {
 	comm      *mpi.Comm
 	iterStart float64
 	swaps     int // swaps this rank participated in (in or out)
+
+	// Swap-cost prediction cache: sizeEst is the last known encoded state
+	// size (<0 = unknown, invalidated by Register); encCache holds the
+	// encoding produced during the current swap point so a rank that both
+	// estimates and ships its state encodes it only once.
+	sizeEst  float64
+	encCache []byte
 }
 
 // Rank reports the world rank.
@@ -123,7 +172,11 @@ func (s *Session) Comm() *mpi.Comm {
 // Register adds a variable to the process state transferred on swap. All
 // ranks must register the same names (they run the same program) before
 // the first SwapPoint. The pointer's contents are gob-encoded.
-func (s *Session) Register(name string, ptr any) { s.state.register(name, ptr) }
+func (s *Session) Register(name string, ptr any) {
+	s.state.register(name, ptr)
+	s.sizeEst = -1
+	s.encCache = nil
+}
 
 // Run executes body on every rank of the world under the swapping
 // runtime. Initially ranks [0, cfg.Active) are active and the rest are
@@ -140,6 +193,15 @@ func (s *Session) Register(name string, ptr any) { s.state.register(name, ptr) }
 //	    if err := s.SwapPoint(); err != nil { return err }
 //	}
 func Run(world *mpi.World, cfg Config, body func(s *Session) error) error {
+	_, err := RunWithStats(world, cfg, body)
+	return err
+}
+
+// RunWithStats is Run, additionally returning aggregate runtime
+// statistics (swap counts, decision latency, state-transfer volume, and
+// the MPI transport counters). The stats are valid even when body
+// returns an error.
+func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (RunStats, error) {
 	cfg = cfg.fill()
 	if cfg.Active <= 0 || cfg.Active > world.Size() {
 		panic(fmt.Sprintf("swaprt: %d active of %d ranks", cfg.Active, world.Size()))
@@ -168,14 +230,17 @@ func Run(world *mpi.World, cfg Config, body func(s *Session) error) error {
 		initial[i] = i
 	}
 
-	return world.Run(func(r *mpi.Rank) error {
+	sc := &statsCollector{}
+	err := world.Run(func(r *mpi.Rank) error {
 		s := &Session{
 			r:         r,
 			cfg:       cfg,
 			mgr:       mgr,
+			stats:     sc,
 			state:     newStateSet(),
 			activeSet: append([]int(nil), initial...),
 			iterStart: cfg.Clock(),
+			sizeEst:   -1,
 		}
 		for _, m := range initial {
 			if m == r.Rank() {
@@ -199,6 +264,11 @@ func Run(world *mpi.World, cfg Config, body func(s *Session) error) error {
 		}
 		return err
 	})
+	sc.mu.Lock()
+	rs := sc.rs
+	sc.mu.Unlock()
+	rs.MPI = world.Stats()
+	return rs, err
 }
 
 // SwapPoint is the runtime's MPI_Swap(): a full barrier of the active
@@ -225,6 +295,7 @@ func (s *Session) swapPointSpare() error {
 	// Swapped in: receive the registered state from the outgoing rank on
 	// the world communicator.
 	world := s.r.World()
+	start := time.Now()
 	data, _, err := world.Recv(a.stateFrom, tagState)
 	if err != nil {
 		return fmt.Errorf("swaprt: rank %d state recv: %w", s.r.Rank(), err)
@@ -232,14 +303,16 @@ func (s *Session) swapPointSpare() error {
 	if err := s.state.decode(data); err != nil {
 		return err
 	}
+	recvDur := time.Since(start)
+	s.stats.add(func(rs *RunStats) { rs.StateRecvTime += recvDur })
 	s.epoch = a.epoch
 	s.activeSet = append([]int(nil), a.activeSet...)
 	s.comm = s.r.CommOf(s.activeSet, s.epoch)
 	s.active = true
 	s.swaps++
 	s.iterStart = s.cfg.Clock()
-	s.cfg.Logf("rank %d swapped in (epoch %d, state %dB, from rank %d)",
-		s.r.Rank(), s.epoch, len(data), a.stateFrom)
+	s.cfg.Logf("rank %d swapped in (epoch %d, state %dB in %s, from rank %d)",
+		s.r.Rank(), s.epoch, len(data), recvDur.Round(time.Microsecond), a.stateFrom)
 	return nil
 }
 
@@ -253,6 +326,8 @@ type planMsg struct {
 func (s *Session) swapPointActive() error {
 	now := s.cfg.Clock()
 	iterTime := now - s.iterStart
+	s.encCache = nil // state may have changed since the last swap point
+	s.stats.add(func(rs *RunStats) { rs.SwapPoints++ })
 
 	// Measurement report: every active rank probes its own host; the
 	// vector is allgathered so the leader can decide and every member
@@ -265,11 +340,20 @@ func (s *Session) swapPointActive() error {
 
 	var plan planMsg
 	if s.comm.Rank() == 0 {
-		swapTime := core.SwapTime(s.cfg.LinkLatency, s.cfg.LinkBandwidth, s.stateSizeEstimate())
+		swapTime := core.SwapTime(*s.cfg.LinkLatency, *s.cfg.LinkBandwidth, s.stateSizeEstimate())
+		decideStart := time.Now()
 		resp, err := s.mgr.decide(s.epoch, now, s.activeSet, rates, s.r.Size(), iterTime, swapTime)
+		decideDur := time.Since(decideStart)
 		if err != nil {
 			return err
 		}
+		s.stats.add(func(rs *RunStats) {
+			rs.Decisions++
+			rs.DecideTime += decideDur
+			rs.Swaps += len(resp.Swaps)
+		})
+		s.cfg.Logf("rank %d decision: %d swaps in %s (epoch %d)",
+			s.r.Rank(), len(resp.Swaps), decideDur.Round(time.Microsecond), s.epoch)
 		plan.Swaps = resp.Swaps
 		if len(resp.Swaps) > 0 {
 			plan.NewSet = append([]int(nil), s.activeSet...)
@@ -298,29 +382,44 @@ func (s *Session) swapPointActive() error {
 		return nil
 	}
 
-	// Leader wakes the incoming spares.
+	// Leader wakes the incoming spares. A full assignment channel means
+	// the runtime's bookkeeping is violated (e.g. a pathological remote
+	// decider reassigning a parked spare); fail the run loudly rather
+	// than deadlocking the leader.
 	if s.comm.Rank() == 0 {
 		for _, sw := range plan.Swaps {
-			s.mgr.assign(sw.In, assignment{
+			if err := s.mgr.assign(sw.In, assignment{
 				epoch:     plan.NewEpoch,
 				activeSet: plan.NewSet,
 				stateFrom: sw.Out,
-			})
+			}); err != nil {
+				s.cfg.Logf("%v", err)
+				return err
+			}
 		}
 	}
 
 	// Am I swapped out?
 	for _, sw := range plan.Swaps {
 		if sw.Out == s.r.Rank() {
-			data, err := s.state.encode()
-			if err != nil {
-				return err
+			start := time.Now()
+			data := s.encCache // reuse the leader's size-estimate encoding
+			if data == nil {
+				if data, err = s.state.encode(); err != nil {
+					return err
+				}
+				s.sizeEst = float64(len(data))
 			}
 			if err := s.r.World().Send(sw.In, tagState, data); err != nil {
 				return fmt.Errorf("swaprt: rank %d state send: %w", s.r.Rank(), err)
 			}
-			s.cfg.Logf("rank %d swapped out (epoch %d, state %dB, to rank %d)",
-				s.r.Rank(), plan.NewEpoch, len(data), sw.In)
+			sendDur := time.Since(start)
+			s.stats.add(func(rs *RunStats) {
+				rs.StateBytes += int64(len(data))
+				rs.StateSendTime += sendDur
+			})
+			s.cfg.Logf("rank %d swapped out (epoch %d, state %dB in %s, to rank %d)",
+				s.r.Rank(), plan.NewEpoch, len(data), sendDur.Round(time.Microsecond), sw.In)
 			s.active = false
 			s.comm = nil
 			s.swaps++
@@ -378,14 +477,23 @@ func (s *Session) LoadCheckpoint(r io.Reader) error {
 	return s.state.decode(data)
 }
 
-// stateSizeEstimate measures the encoded size of the registered state for
-// the swap-cost prediction.
+// stateSizeEstimate reports the encoded size of the registered state for
+// the swap-cost prediction. The size is cached across swap points
+// (invalidated by Register) so the state is not gob-encoded on every
+// iteration just to predict cost; when an encoding is produced here it
+// is kept for the current swap point so a swapped-out leader ships it
+// without encoding twice.
 func (s *Session) stateSizeEstimate() float64 {
+	if s.sizeEst >= 0 {
+		return s.sizeEst
+	}
 	data, err := s.state.encode()
 	if err != nil {
 		return 0
 	}
-	return float64(len(data))
+	s.encCache = data
+	s.sizeEst = float64(len(data))
+	return s.sizeEst
 }
 
 func encodePlan(p planMsg) ([]byte, error) {

@@ -1,0 +1,176 @@
+package swaprt
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+func TestAssignFullChannelFailsLoudly(t *testing.T) {
+	m := newManager(2, Config{}.fill(), NewLocalDecider(core.Greedy()))
+	a := assignment{epoch: 1, activeSet: []int{1}, stateFrom: 0}
+	for i := 0; i < cap(m.assignCh[1]); i++ {
+		if err := m.assign(1, a); err != nil {
+			t.Fatalf("assign %d: %v", i, err)
+		}
+	}
+	// The channel is full; one more must error immediately instead of
+	// blocking the leader forever.
+	if err := m.assign(1, a); err == nil {
+		t.Fatal("assign into a full channel succeeded")
+	}
+}
+
+func TestStateSizeEstimateCachedAndInvalidated(t *testing.T) {
+	s := &Session{state: newStateSet(), sizeEst: -1}
+	x := make([]byte, 100)
+	s.Register("x", &x)
+
+	first := s.stateSizeEstimate()
+	if first <= 0 {
+		t.Fatalf("estimate = %g", first)
+	}
+	if s.encCache == nil {
+		t.Fatal("estimate did not keep its encoding for reuse")
+	}
+	// Growing the state without re-registering must serve the cached size
+	// (the whole point: no re-encode per swap point).
+	x = append(x, make([]byte, 10000)...)
+	if got := s.stateSizeEstimate(); got != first {
+		t.Fatalf("estimate re-encoded: %g != cached %g", got, first)
+	}
+
+	// Register invalidates both the size and the kept encoding.
+	y := 0
+	s.Register("y", &y)
+	if s.sizeEst >= 0 || s.encCache != nil {
+		t.Fatal("Register did not invalidate the size cache")
+	}
+	if got := s.stateSizeEstimate(); got <= first {
+		t.Fatalf("post-invalidation estimate %g not refreshed (was %g)", got, first)
+	}
+}
+
+func TestRunWithStatsCounters(t *testing.T) {
+	w := mpi.NewWorld(3)
+	clk := &fakeClock{step: 0.05}
+	rt := &rateTable{rates: []float64{100, 100, 1000}} // rank 2: fast spare
+	stats, err := RunWithStats(w, Config{
+		Active: 2,
+		Policy: core.Greedy(),
+		Probe:  rt.probe,
+		Clock:  clk.now,
+	}, iterBody(20, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SwapPoints == 0 || stats.Decisions == 0 {
+		t.Fatalf("no swap points/decisions recorded: %+v", stats)
+	}
+	if stats.Swaps < 1 {
+		t.Fatalf("expected at least one swap, got %d", stats.Swaps)
+	}
+	if stats.StateBytes <= 0 || stats.StateSendTime <= 0 || stats.StateRecvTime <= 0 {
+		t.Fatalf("state transfer not instrumented: %+v", stats)
+	}
+	if stats.DecideTime <= 0 {
+		t.Fatalf("decision latency not instrumented: %+v", stats)
+	}
+	total := stats.MPI.Total()
+	if total.MsgsSent == 0 || total.BytesSent == 0 {
+		t.Fatalf("MPI counters empty: %+v", total)
+	}
+	if total.MsgsSent != total.MsgsRecv || total.BytesSent != total.BytesRecv {
+		t.Fatalf("MPI sent/recv mismatch after clean run: %+v", total)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats rendering")
+	}
+}
+
+// TestSwapWhileOtherRanksMidSend runs swaps over the TCP transport while
+// background goroutines keep large world-communicator sends in flight.
+// Run with -race: it exercises state transfers interleaving with
+// unrelated traffic on the same per-destination connections.
+func TestSwapWhileOtherRanksMidSend(t *testing.T) {
+	const (
+		ranks    = 4
+		nactive  = 3
+		iters    = 12
+		tagFlood = 777
+	)
+	w, err := mpi.NewTCPWorld(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{step: 0.05}
+	rt := &rateTable{rates: []float64{1000, 1000, 100, 5000}} // rank 2 slow, rank 3 fast spare
+	payload := bytes.Repeat([]byte{9}, 1<<15)
+	var floodsSent atomic.Int64
+	stats, err := RunWithStats(w, Config{
+		Active: nactive,
+		Policy: core.Greedy(),
+		Probe:  rt.probe,
+		Clock:  clk.now,
+	}, func(s *Session) error {
+		iter := 0
+		s.Register("iter", &iter)
+		wc := s.r.World()
+		var wg sync.WaitGroup
+		for !s.Done() && iter < iters {
+			if s.Active() {
+				// Keep a burst of large sends in flight across the coming
+				// swap point.
+				dst := (s.Rank() + 1) % ranks
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := 0; k < 3; k++ {
+						if err := wc.Send(dst, tagFlood, payload); err != nil {
+							return
+						}
+						floodsSent.Add(1)
+					}
+				}()
+				if _, err := s.Comm().AllReduceFloat64(mpi.OpSum, 1); err != nil {
+					wg.Wait()
+					return err
+				}
+				iter++
+			}
+			if err := s.SwapPoint(); err != nil {
+				wg.Wait()
+				return err
+			}
+		}
+		wg.Wait()
+		// Drain whatever flood traffic reached me so mailboxes don't mask
+		// errors; in-flight stragglers are fine.
+		for {
+			ok, _ := wc.Iprobe(mpi.AnySource, tagFlood)
+			if !ok {
+				break
+			}
+			if _, _, err := wc.Recv(mpi.AnySource, tagFlood); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Swaps < 1 {
+		t.Fatalf("no swap happened (rates %v)", rt.rates)
+	}
+	if floodsSent.Load() == 0 {
+		t.Fatal("no background sends completed")
+	}
+	if stats.StateBytes <= 0 {
+		t.Fatalf("state transfer not recorded: %+v", stats)
+	}
+}
