@@ -3,15 +3,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures ablations extensions check fuzz clean
+.PHONY: all build vet lint test race bench figures ablations extensions check fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (cmd/swapvet): determinism of the
+# simulation/figure packages, lock/I-O discipline, conn deadlines, and
+# unchecked MPI errors. Exits non-zero on any finding. DESIGN.md §11
+# documents each rule; suppress intentional cases with //swapvet:ignore.
+lint:
+	$(GO) run ./cmd/swapvet ./...
 
 # The concurrency-heavy packages (transport, runtime) run under the race
 # detector as part of the default test target.
@@ -34,8 +41,9 @@ ablations:
 extensions:
 	$(GO) run ./cmd/swapexp -fig extensions -out results -format csv
 
-# Verify the paper's claims against freshly generated figures.
-check:
+# Verify the paper's claims against freshly generated figures; the static
+# analyzers run first so a non-reproducible tree cannot "pass" the check.
+check: lint
 	$(GO) run ./cmd/swapexp -check
 
 fuzz:
@@ -43,5 +51,9 @@ fuzz:
 	$(GO) test -fuzz FuzzUnpackParts -fuzztime 30s ./internal/mpi/
 	$(GO) test -fuzz FuzzUnpackFloats -fuzztime 30s ./internal/mpi/
 
+# clean removes generated result files only. It must not touch the Go
+# build/test caches (or anything under ~/.cache): CI restores and reuses
+# them across runs, keyed on go.sum, and `make lint` relies on the build
+# cache to keep swapvet compilation cheap.
 clean:
 	rm -rf results/*.csv results/*.txt results/*.json

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -47,7 +48,7 @@ func main() {
 
 	if *check {
 		opt := experiment.Options{Seeds: *seeds, Iterations: *iters, BaseSeed: *seed, Quick: *quick}
-		passed, failed, err := report.Run(opt, os.Stdout)
+		passed, failed, err := report.Run(opt, time.Now(), os.Stdout)
 		if err != nil {
 			fatal(err)
 		}

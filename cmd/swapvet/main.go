@@ -1,0 +1,62 @@
+// Command swapvet runs the project's static-analysis suite: four analyzers
+// (simdeterminism, lockedio, deadlineio, mpierr) encoding the runtime
+// invariants the codebase depends on. It is standard-library only — package
+// loading is `go list` plus the go/importer source importer — and exits
+// non-zero when any finding survives the //swapvet:ignore directives.
+//
+// Usage:
+//
+//	swapvet [-C dir] [-run names] [-list] [patterns...]
+//
+// Patterns default to ./... relative to the module root (-C, default ".").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module directory to analyze")
+	run := flag.String("run", "", "comma-separated analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.ByName(*run)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintf(os.Stderr, "swapvet: no analyzer matches %q\n", *run)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swapvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range analysis.RunAll(analyzers, pkg) {
+			fmt.Printf("%s\n", f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "swapvet: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

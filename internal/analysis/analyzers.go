@@ -1,0 +1,38 @@
+package analysis
+
+// All returns the full swapvet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{SimDeterminism, LockedIO, DeadlineIO, MPIErr}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) []*Analyzer {
+	if names == "" {
+		return All()
+	}
+	want := map[string]bool{}
+	for _, n := range splitComma(names) {
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sharedLoader amortizes the source-importer's dependency cache (net, gob,
+// time, ... type-checked from source once) across every test in the package.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *analysis.Loader
+)
+
+func loader() *analysis.Loader {
+	loaderOnce.Do(func() { sharedLoader = analysis.NewLoader() })
+	return sharedLoader
+}
+
+// wantRE matches golden annotations: // want `regex` or // want "regex".
+var wantRE = regexp.MustCompile("// want (?:`([^`]*)`|\"([^\"]*)\")")
+
+type wantAnnotation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants scans fixture sources for // want annotations.
+func collectWants(t *testing.T, dir string) []*wantAnnotation {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantAnnotation
+	for _, name := range matches {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				expr := m[1]
+				if expr == "" {
+					expr = m[2]
+				}
+				rx, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, expr, err)
+				}
+				wants = append(wants, &wantAnnotation{file: name, line: i + 1, rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads the fixture package for the analyzer and checks its
+// findings against the fixture's // want annotations, both ways: every want
+// must be hit, and every finding must be wanted.
+func runGolden(t *testing.T, a *analysis.Analyzer) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", a.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := loader().LoadDir(dir, "fixture/"+a.Name)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	wants := collectWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want annotations", dir)
+	}
+	findings := analysis.RunAnalyzer(a, lp)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.rx)
+		}
+	}
+	if t.Failed() {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+	}
+}
+
+func TestSimDeterminismGolden(t *testing.T) { runGolden(t, analysis.SimDeterminism) }
+func TestLockedIOGolden(t *testing.T)       { runGolden(t, analysis.LockedIO) }
+func TestDeadlineIOGolden(t *testing.T)     { runGolden(t, analysis.DeadlineIO) }
+func TestMPIErrGolden(t *testing.T)         { runGolden(t, analysis.MPIErr) }
+
+// TestAnalyzerScoping pins each analyzer's Applies scope: the deterministic
+// and deadline rules are package-targeted, the lock and error rules are
+// global.
+func TestAnalyzerScoping(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		pkg      string
+		want     bool
+	}{
+		{analysis.SimDeterminism, "repro/internal/simkern", true},
+		{analysis.SimDeterminism, "repro/internal/report", true},
+		{analysis.SimDeterminism, "repro/internal/mpi", false},
+		{analysis.SimDeterminism, "repro/cmd/swapexp", false},
+		{analysis.DeadlineIO, "repro/internal/mpi", true},
+		{analysis.DeadlineIO, "repro/internal/swaprt", true},
+		{analysis.DeadlineIO, "repro/internal/simkern", false},
+		{analysis.LockedIO, "repro/internal/anything", true},
+		{analysis.MPIErr, "repro/cmd/swaprun", true},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Applies(c.pkg); got != c.want {
+			t.Errorf("%s.Applies(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestByName resolves analyzer subsets for swapvet's -run flag.
+func TestByName(t *testing.T) {
+	if got := len(analysis.ByName("")); got != 4 {
+		t.Fatalf("ByName(\"\") returned %d analyzers, want 4", got)
+	}
+	sub := analysis.ByName("lockedio,mpierr")
+	if len(sub) != 2 || sub[0].Name != "lockedio" || sub[1].Name != "mpierr" {
+		names := make([]string, len(sub))
+		for i, a := range sub {
+			names[i] = a.Name
+		}
+		t.Fatalf("ByName(lockedio,mpierr) = %v", names)
+	}
+	if got := analysis.ByName("nosuch"); len(got) != 0 {
+		t.Fatalf("ByName(nosuch) returned %d analyzers, want 0", len(got))
+	}
+}
+
+func ExampleFinding() {
+	f := analysis.Finding{Analyzer: "lockedio", Message: "sends on a channel while a mutex is held"}
+	f.Pos.Filename, f.Pos.Line, f.Pos.Column = "tcp.go", 42, 7
+	fmt.Println(f)
+	// Output: tcp.go:42:7: lockedio: sends on a channel while a mutex is held
+}

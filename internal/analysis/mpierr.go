@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MPIErr flags MPI operations and gob encode/decode calls whose error result
+// is silently discarded — a call in statement position (including `go` and
+// `defer`). In a message-passing runtime a dropped Send error desynchronizes
+// the ranks: the sender proceeds while the receiver blocks forever on a
+// message that was never delivered.
+//
+// Explicitly assigning the error to `_` is allowed: it marks a reviewed,
+// intentional discard (e.g. best-effort cleanup), which is the same line the
+// standard errcheck tool draws.
+var MPIErr = &Analyzer{
+	Name:    "mpierr",
+	Doc:     "flag discarded errors from MPI operations and gob encode/decode",
+	Applies: func(string) bool { return true },
+	Run:     runMPIErr,
+}
+
+func runMPIErr(p *Pass) {
+	check := func(call *ast.CallExpr) {
+		if desc, ok := p.droppedErrCall(call); ok {
+			p.Reportf(call.Pos(), "%s discards its error; handle it or assign it to _ explicitly", desc)
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.GoStmt:
+				check(n.Call)
+			case *ast.DeferStmt:
+				check(n.Call)
+			}
+			return true
+		})
+	}
+}
+
+// droppedErrCall reports whether the call is an error-returning operation
+// the analyzer polices: any internal/mpi function or method, or a gob
+// Encode/Decode.
+func (p *Pass) droppedErrCall(call *ast.CallExpr) (string, bool) {
+	fn := p.calleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	if !returnsError(fn) {
+		return "", false
+	}
+	if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/mpi") {
+		return "mpi." + fn.Name(), true
+	}
+	if fn.FullName() == "(*encoding/gob.Encoder).Encode" || fn.FullName() == "(*encoding/gob.Decoder).Decode" {
+		return "gob." + fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs are the packages that must be bit-for-bit reproducible:
+// the simulation kernel, strategies, figure/experiment generators, the
+// decision core and the claims report. They run on virtual time and
+// internal/rng streams only.
+var deterministicPkgs = map[string]bool{
+	"repro/internal/simkern":    true,
+	"repro/internal/strategy":   true,
+	"repro/internal/experiment": true,
+	"repro/internal/core":       true,
+	"repro/internal/report":     true,
+}
+
+// randAllowed are math/rand package-level functions that do not touch the
+// global generator: constructing an explicitly seeded source is exactly how
+// internal/rng builds its deterministic streams.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// SimDeterminism forbids wall-clock time, the global math/rand generator,
+// and map-iteration order leaking into output in the simulation and figure
+// packages. The paper's results are claims checked against regenerated
+// figures; a single time.Now or unsorted map range makes `make check`
+// unreproducible.
+var SimDeterminism = &Analyzer{
+	Name:    "simdeterminism",
+	Doc:     "forbid wall-clock time, global math/rand, and unsorted map iteration feeding output in simulation/figure packages",
+	Applies: func(pkgPath string) bool { return deterministicPkgs[pkgPath] },
+	Run:     runSimDeterminism,
+}
+
+func runSimDeterminism(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(p, n)
+				checkGlobalRand(p, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkWallClock(p *Pass, call *ast.CallExpr) {
+	pkg, name, ok := p.pkgFunc(call)
+	if !ok || pkg != "time" {
+		return
+	}
+	switch name {
+	case "Now", "Since", "Until", "Sleep", "Tick", "After":
+		p.Reportf(call.Pos(), "time.%s in deterministic simulation/report code; use virtual time or an injected timestamp", name)
+	}
+}
+
+func checkGlobalRand(p *Pass, call *ast.CallExpr) {
+	pkg, name, ok := p.pkgFunc(call)
+	if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") {
+		return
+	}
+	if randAllowed[name] {
+		return
+	}
+	p.Reportf(call.Pos(), "global %s.%s in deterministic simulation code; draw from an internal/rng stream instead", pkg, name)
+}
+
+// checkMapRanges walks one function body looking for `range m` over a map
+// that either writes output inside the loop or collects values that are
+// never sorted — both leak Go's randomized map order into results.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pos, what, found := findOutputInLoop(p, rs.Body); found {
+			p.Reportf(pos, "map iteration feeds %s; iterate over sorted keys for deterministic output", what)
+			return true
+		}
+		for _, obj := range appendTargets(p, rs.Body) {
+			if !sortedAfter(p, body, rs.End(), obj) {
+				p.Reportf(rs.Pos(), "map iteration appends to %q which is never sorted; sort it (or the keys) for deterministic order", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// findOutputInLoop reports the first statement in the loop body that writes
+// output: an fmt print call or a Write*-family method call.
+func findOutputInLoop(p *Pass, body *ast.BlockStmt) (token.Pos, string, bool) {
+	var pos token.Pos
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := p.pkgFunc(call); ok && pkg == "fmt" {
+			switch name {
+			case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+				pos, what = call.Pos(), "fmt."+name+" output"
+				return false
+			}
+		}
+		if fn := p.methodOf(call); fn != nil {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				pos, what = call.Pos(), fn.Name()+" output"
+				return false
+			}
+		}
+		return true
+	})
+	return pos, what, what != ""
+}
+
+// appendTargets reports the objects of identifiers grown with
+// `x = append(x, ...)` inside the loop body.
+func appendTargets(p *Pass, body *ast.BlockStmt) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether obj is passed to a sort (sort.* or slices.*)
+// anywhere after pos in the enclosing function body.
+func sortedAfter(p *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.End() < pos {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, _, ok := p.pkgFunc(call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,118 @@
+// Package fixture seeds lock-discipline violations for the lockedio golden
+// test, including a regression fixture reproducing the PR 1 seed deadlock:
+// a global mutex held across a socket write that can fill its buffer and
+// starve the accept loop that would drain it.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+// pr1Transport is the PR 1 shape: one mutex serializing both connection
+// setup and sends, so a send blocked on a full socket buffer wedges the
+// whole transport.
+type pr1Transport struct {
+	mu    sync.Mutex
+	conns map[int]net.Conn
+}
+
+func (t *pr1Transport) send(dst int, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.conns[dst].Write(data) // want `performs net\.Conn\.Write while a mutex is held`
+	return err
+}
+
+func chanSendLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `sends on a channel while a mutex is held`
+	mu.Unlock()
+}
+
+func chanRecvLocked(mu *sync.RWMutex, ch chan int) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return <-ch // want `receives from a channel while a mutex is held`
+}
+
+func waitLocked(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait() // want `waits on a sync\.WaitGroup while a mutex is held`
+}
+
+func selectLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want `blocks in a select while a mutex is held`
+	case <-ch:
+	}
+}
+
+// selectDefaultLocked never blocks: a select with a default is the
+// sanctioned way to poll a channel under a lock.
+func selectDefaultLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// condWaitLocked is correct: Cond.Wait releases the mutex while waiting.
+func condWaitLocked(mu *sync.Mutex, cond *sync.Cond, ready *bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	for !*ready {
+		cond.Wait()
+	}
+}
+
+// unlockThenSend releases before blocking: no finding.
+func unlockThenSend(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}
+
+// earlyReturnUnlock: the unlock inside the terminating branch does not
+// release the lock on the fall-through path.
+func earlyReturnUnlock(mu *sync.Mutex, ch chan int, done bool) {
+	mu.Lock()
+	if done {
+		mu.Unlock()
+		return
+	}
+	ch <- 1 // want `sends on a channel while a mutex is held`
+	mu.Unlock()
+}
+
+// goroutineUnderLock is fine: the spawned goroutine does not hold the
+// caller's lock.
+func goroutineUnderLock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() { ch <- 1 }()
+}
+
+func helperThatSends(ch chan int) {
+	ch <- 1
+}
+
+func callsBlockingHelper(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	helperThatSends(ch) // want `call to helperThatSends, which sends on a channel, while a mutex is held`
+}
+
+func helperIndirect(ch chan int) {
+	helperThatSends(ch)
+}
+
+func callsTransitiveHelper(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	helperIndirect(ch) // want `call to helperIndirect, which calls helperThatSends, which sends on a channel, while a mutex is held`
+}

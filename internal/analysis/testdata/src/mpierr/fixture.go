@@ -1,0 +1,55 @@
+// Package fixture seeds discarded-error violations for the mpierr golden
+// test: MPI operations and gob codec calls in statement position.
+package fixture
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/mpi"
+)
+
+func droppedSend(c *mpi.Comm, data []byte) {
+	c.Send(1, 0, data) // want `mpi\.Send discards its error`
+}
+
+func droppedRecv(c *mpi.Comm) {
+	c.Recv(0, 0) // want `mpi\.Recv discards its error`
+}
+
+func droppedBarrier(c *mpi.Comm) {
+	defer c.Barrier() // want `mpi\.Barrier discards its error`
+}
+
+func droppedBcast(c *mpi.Comm) {
+	go c.Bcast(0, nil) // want `mpi\.Bcast discards its error`
+}
+
+func droppedReduce(c *mpi.Comm) {
+	c.ReduceFloat64(0, mpi.OpSum, 1) // want `mpi\.ReduceFloat64 discards its error`
+}
+
+func droppedGobEncode(buf *bytes.Buffer) {
+	gob.NewEncoder(buf).Encode(42) // want `gob\.Encode discards its error`
+}
+
+func droppedGobDecode(buf *bytes.Buffer) {
+	var x int
+	gob.NewDecoder(buf).Decode(&x) // want `gob\.Decode discards its error`
+}
+
+// checkedSend handles the error: no finding.
+func checkedSend(c *mpi.Comm, data []byte) error {
+	return c.Send(1, 0, data)
+}
+
+// blankSend is an explicit, reviewed discard: no finding.
+func blankSend(c *mpi.Comm, data []byte) {
+	_ = c.Send(1, 0, data)
+}
+
+// rankAccess returns no error: no finding.
+func rankAccess(c *mpi.Comm) {
+	c.Rank()
+	c.Size()
+}

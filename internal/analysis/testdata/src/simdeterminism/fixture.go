@@ -1,0 +1,71 @@
+// Package fixture seeds determinism violations for the simdeterminism
+// golden test: wall-clock reads, global math/rand draws, and map iteration
+// order leaking into output.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() float64 {
+	t := time.Now()              // want `time\.Now in deterministic simulation/report code`
+	d := time.Since(t)           // want `time\.Since in deterministic simulation/report code`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic simulation/report code`
+	return d.Seconds()
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `global math/rand\.Intn in deterministic simulation code`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle in deterministic simulation code`
+	return n
+}
+
+// seededStream is allowed: an explicitly seeded source is exactly how
+// internal/rng builds its deterministic streams.
+func seededStream() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `map iteration feeds fmt\.Printf output`
+	}
+}
+
+func mapBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `map iteration feeds WriteString output`
+	}
+	return b.String()
+}
+
+func mapUnsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys" which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapSortedAppend is the sanctioned collect-then-sort idiom: no finding.
+func mapSortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sliceRange is ordered iteration: no finding.
+func sliceRange(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}

@@ -61,7 +61,7 @@ func newTCPTransport(w *World) (*tcpTransport, error) {
 	for i := 0; i < w.size; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			t.close()
+			_ = t.close() // best-effort cleanup; the listen error wins
 			return nil, fmt.Errorf("mpi: listen for rank %d: %w", i, err)
 		}
 		t.listeners = append(t.listeners, ln)
@@ -127,6 +127,10 @@ func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	for {
 		var env envelope
+		// A reader waits for the next message for as long as the peer
+		// stays connected — that is its job. A dead peer cannot hang it:
+		// close() closes every registered socket, which fails this Decode.
+		//swapvet:ignore deadlineio -- reader lifetime == connection lifetime; close() unblocks it
 		if err := dec.Decode(&env); err != nil {
 			return
 		}

@@ -297,8 +297,11 @@ type Result struct {
 
 // Run regenerates the needed figures once and evaluates every claim,
 // writing a markdown report. It returns the number of passed and failed
-// claims.
-func Run(opt experiment.Options, w io.Writer) (passed, failed int, err error) {
+// claims. generatedAt stamps the report header; the zero time omits the
+// stamp, which keeps the output byte-for-byte reproducible (callers that
+// want a wall-clock stamp, like swapexp, pass one in — this package never
+// reads the clock itself).
+func Run(opt experiment.Options, generatedAt time.Time, w io.Writer) (passed, failed int, err error) {
 	claims := Claims()
 	needed := map[string]bool{}
 	for _, c := range claims {
@@ -333,7 +336,11 @@ func Run(opt experiment.Options, w io.Writer) (passed, failed int, err error) {
 	}
 
 	fmt.Fprintf(w, "# Reproduction check — Policies for Swapping MPI Processes (HPDC 2003)\n\n")
-	fmt.Fprintf(w, "Generated %s. %d/%d claims hold.\n\n", time.Now().Format(time.RFC3339), passed, len(claims))
+	if generatedAt.IsZero() {
+		fmt.Fprintf(w, "%d/%d claims hold.\n\n", passed, len(claims))
+	} else {
+		fmt.Fprintf(w, "Generated %s. %d/%d claims hold.\n\n", generatedAt.Format(time.RFC3339), passed, len(claims))
+	}
 	fmt.Fprintf(w, "| status | claim | figure | paper statement | detail |\n")
 	fmt.Fprintf(w, "|---|---|---|---|---|\n")
 	for _, r := range results {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiment"
 )
@@ -37,7 +38,7 @@ func TestRunAllClaimsPass(t *testing.T) {
 	}
 	var b strings.Builder
 	opt := experiment.Options{Seeds: 4, Iterations: 25, BaseSeed: 20030623}
-	passed, failed, err := Run(opt, &b)
+	passed, failed, err := Run(opt, time.Time{}, &b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRunRendersFailures(t *testing.T) {
 	// pass, skip.)
 	var b strings.Builder
 	opt := experiment.Options{Seeds: 1, Iterations: 2, BaseSeed: 1, Quick: true}
-	_, failed, err := Run(opt, &b)
+	_, failed, err := Run(opt, time.Time{}, &b)
 	if err != nil {
 		t.Fatal(err)
 	}

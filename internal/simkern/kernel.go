@@ -13,6 +13,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Kernel owns the virtual clock and event queue. Create one with New.
@@ -142,6 +143,8 @@ func (k *Kernel) Stuck() []string {
 	for p := range k.parked {
 		names = append(names, p.name)
 	}
+	// parked is a map; sort so deadlock diagnostics are deterministic.
+	sort.Strings(names)
 	return names
 }
 

@@ -137,6 +137,9 @@ type StoreClient struct {
 	Timeout time.Duration // per operation; zero means 30 s
 }
 
+// dial connects to the store. The caller arms the operation deadline on the
+// returned connection before any read or write (swapvet's deadlineio rule
+// checks the arm at the I/O site, so it lives with the I/O, not in here).
 func (c StoreClient) dial() (net.Conn, time.Duration, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
@@ -146,17 +149,17 @@ func (c StoreClient) dial() (net.Conn, time.Duration, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("swaprt: dial checkpoint store: %w", err)
 	}
-	_ = conn.SetDeadline(time.Now().Add(timeout))
 	return conn, timeout, nil
 }
 
 // Put stores data under key, replacing any previous blob.
 func (c StoreClient) Put(key string, data []byte) error {
-	conn, _, err := c.dial()
+	conn, timeout, err := c.dial()
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
 	hdr, _ := json.Marshal(storeHeader{Op: "put", Key: key, Size: int64(len(data))})
 	if _, err := conn.Write(hdr); err != nil {
 		return fmt.Errorf("swaprt: store put: %w", err)
@@ -176,11 +179,12 @@ func (c StoreClient) Put(key string, data []byte) error {
 
 // Get fetches the blob stored under key.
 func (c StoreClient) Get(key string) ([]byte, error) {
-	conn, _, err := c.dial()
+	conn, timeout, err := c.dial()
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
 	hdr, _ := json.Marshal(storeHeader{Op: "get", Key: key})
 	if _, err := conn.Write(hdr); err != nil {
 		return nil, fmt.Errorf("swaprt: store get: %w", err)
