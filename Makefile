@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench figures ablations extensions check fuzz clean
+.PHONY: all build vet lint test race bench figures ablations extensions check fuzz trace-smoke clean
 
 all: build vet lint test
 
@@ -46,6 +46,21 @@ extensions:
 check: lint
 	$(GO) run ./cmd/swapexp -check
 
+# End-to-end trace validation: a 2-rank live run with an injected
+# slowdown that forces a swap, exported as a Chrome/Perfetto trace, then
+# checked by cmd/tracecheck (trace_event schema + a SwapDecision with
+# payback distance and policy verdict). A virtual-clock simulation trace
+# is validated the same way.
+trace-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/swaprun -ranks 2 -active 1 -iters 20 -work 10 \
+		-inject 0@0.05:8 -trace-out results/trace-smoke-live.json \
+		-events-out results/trace-smoke-live.jsonl
+	$(GO) run ./cmd/tracecheck results/trace-smoke-live.json
+	$(GO) run ./cmd/swapsim -tech swap -hosts 6 -active 2 -iters 10 -seed 63 \
+		-trace-out results/trace-smoke-sim.json
+	$(GO) run ./cmd/tracecheck results/trace-smoke-sim.json
+
 fuzz:
 	$(GO) test -fuzz FuzzParseTraceCSV -fuzztime 30s ./internal/loadgen/
 	$(GO) test -fuzz FuzzUnpackParts -fuzztime 30s ./internal/mpi/
@@ -56,4 +71,4 @@ fuzz:
 # them across runs, keyed on go.sum, and `make lint` relies on the build
 # cache to keep swapvet compilation cheap.
 clean:
-	rm -rf results/*.csv results/*.txt results/*.json
+	rm -rf results/*.csv results/*.txt results/*.json results/*.jsonl

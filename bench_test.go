@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/loadgen"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/simkern"
@@ -272,10 +273,25 @@ func BenchmarkMPIPingPong(b *testing.B) {
 // waits for a full large-message encode; with per-destination
 // connections the two streams are independent.
 func BenchmarkTCPSendDistinctRanks(b *testing.B) {
+	benchTCPSendDistinctRanks(b, nil)
+}
+
+// BenchmarkTCPSendDistinctRanksTraced is the same send path with an
+// enabled obs tracer attached, quantifying the cost of full event
+// recording (the disabled-tracer overhead is the delta between the
+// untraced benchmark here and the pre-obs baseline in BENCH_obs.json).
+func BenchmarkTCPSendDistinctRanksTraced(b *testing.B) {
+	tr := obs.New(3, obs.WithLimit(1<<16))
+	tr.Enable()
+	benchTCPSendDistinctRanks(b, tr)
+}
+
+func benchTCPSendDistinctRanks(b *testing.B, tr *obs.Tracer) {
 	w, err := mpi.NewTCPWorld(3)
 	if err != nil {
 		b.Fatal(err)
 	}
+	w.SetTracer(tr)
 	flood := bytes.Repeat([]byte{1}, 64<<10)
 	small := []byte("ping")
 	var stop atomic.Bool

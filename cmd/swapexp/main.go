@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/mpi"
+	"repro/internal/obs/obsflag"
 	"repro/internal/report"
 	"repro/internal/swaprt"
 )
@@ -37,13 +38,17 @@ func main() {
 		check   = flag.Bool("check", false, "run the full claim battery (report.Claims) and exit non-zero on failure")
 		live    = flag.Bool("live", false, "run a small live-runtime demo (internal/swaprt over TCP) and print its stats")
 	)
+	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *live {
-		if err := liveDemo(); err != nil {
+		if err := liveDemo(traceFlags); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if traceFlags.Enabled() {
+		fatal(fmt.Errorf("-trace-out/-events-out apply to the live runtime demo; add -live (simulation sweeps trace via swapsim)"))
 	}
 
 	if *check {
@@ -147,15 +152,20 @@ func ext(format string) string {
 }
 
 func write(fig *experiment.FigureResult, format string, f *os.File) error {
+	if format == "plot" {
+		return fig.Plot().Render(f)
+	}
+	tbl, err := fig.Table()
+	if err != nil {
+		return err
+	}
 	switch format {
 	case "text":
-		return fig.Table().WriteText(f)
+		return tbl.WriteText(f)
 	case "csv":
-		return fig.Table().WriteCSV(f)
+		return tbl.WriteCSV(f)
 	case "json":
-		return fig.Table().WriteJSON(f)
-	case "plot":
-		return fig.Plot().Render(f)
+		return tbl.WriteJSON(f)
 	}
 	return fmt.Errorf("swapexp: unknown format %q", format)
 }
@@ -166,13 +176,17 @@ func write(fig *experiment.FigureResult, format string, f *os.File) error {
 // policy that swaps it out. It prints the RunStats (including the MPI
 // per-rank transport counters) so the instrumented path is exercised
 // end to end from the command line.
-func liveDemo() error {
+func liveDemo(traceFlags *obsflag.Flags) error {
 	const (
 		ranks  = 4
 		active = 2
 		iters  = 30
 	)
 	world, err := mpi.NewTCPWorld(ranks)
+	if err != nil {
+		return err
+	}
+	tracer, err := traceFlags.Tracer(ranks)
 	if err != nil {
 		return err
 	}
@@ -188,6 +202,7 @@ func liveDemo() error {
 		Active: active,
 		Policy: core.Greedy(),
 		Probe:  probe,
+		Tracer: tracer,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
@@ -221,7 +236,9 @@ func liveDemo() error {
 		return err
 	}
 	fmt.Printf("live demo stats: %s\n", stats)
-	return nil
+	return traceFlags.Write(tracer, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
 }
 
 func fatal(err error) {

@@ -5,27 +5,76 @@
 // each connection carries one JSON DecideRequest and receives one JSON
 // DecideResponse.
 //
+// With -debug-addr it also serves an HTTP endpoint exposing expvar
+// (including the manager's decision counters under "swapmgr") and
+// net/http/pprof profiles for live inspection.
+//
 // Example:
 //
-//	swapmgr -addr 127.0.0.1:7070 -policy safe
+//	swapmgr -addr 127.0.0.1:7070 -policy safe -debug-addr 127.0.0.1:7071
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/swaprt"
 )
 
+// meteredDecider wraps the local decider with registry counters so the
+// debug endpoint can report live decision activity. It forwards Report
+// so handler measurements still reach the decider's history.
+type meteredDecider struct {
+	inner     *swaprt.LocalDecider
+	decisions *obs.Counter
+	swaps     *obs.Counter
+	reports   *obs.Counter
+	decideNS  *obs.Counter
+}
+
+func newMeteredDecider(inner *swaprt.LocalDecider, reg *obs.Registry) *meteredDecider {
+	return &meteredDecider{
+		inner:     inner,
+		decisions: reg.Counter("swapmgr.decisions"),
+		swaps:     reg.Counter("swapmgr.swaps"),
+		reports:   reg.Counter("swapmgr.reports"),
+		decideNS:  reg.Counter("swapmgr.decide_ns"),
+	}
+}
+
+// Decide implements swaprt.Decider.
+func (d *meteredDecider) Decide(req swaprt.DecideRequest) (swaprt.DecideResponse, error) {
+	start := time.Now()
+	resp, err := d.inner.Decide(req)
+	d.decideNS.Add(uint64(time.Since(start)))
+	d.decisions.Inc()
+	if err == nil {
+		d.swaps.Add(uint64(len(resp.Swaps)))
+	}
+	return resp, err
+}
+
+// Report implements swaprt.Reporter.
+func (d *meteredDecider) Report(r swaprt.ReportMsg) error {
+	d.reports.Inc()
+	return d.inner.Report(r)
+}
+
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7070", "listen address")
-		policy = flag.String("policy", "greedy", "swap policy: greedy, safe or friendly")
-		quiet  = flag.Bool("quiet", false, "suppress per-decision logging")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		policy    = flag.String("policy", "greedy", "swap policy: greedy, safe or friendly")
+		quiet     = flag.Bool("quiet", false, "suppress per-decision logging")
+		debugAddr = flag.String("debug-addr", "", "opt-in HTTP debug endpoint serving expvar and pprof (e.g. 127.0.0.1:7071)")
 	)
 	flag.Parse()
 
@@ -39,12 +88,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swapmgr:", err)
 		os.Exit(1)
 	}
+
+	var decider swaprt.Decider = swaprt.NewLocalDecider(pol)
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		decider = newMeteredDecider(swaprt.NewLocalDecider(pol), reg)
+		expvar.Publish("swapmgr", expvar.Func(reg.ExpvarFunc()))
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swapmgr:", err)
+			os.Exit(1)
+		}
+		go func() {
+			// DefaultServeMux carries expvar's /debug/vars and pprof's
+			// /debug/pprof/* handlers via their package init side effects.
+			if err := http.Serve(dln, nil); err != nil {
+				log.Printf("swapmgr: debug endpoint: %v", err)
+			}
+		}()
+		log.Printf("swapmgr: debug endpoint (expvar + pprof) on http://%s/debug/vars", dln.Addr())
+	}
+
 	log.Printf("swapmgr: serving policy %s on %s", pol, ln.Addr())
 	logf := log.Printf
 	if *quiet {
 		logf = nil
 	}
-	if err := swaprt.ServeManager(ln, swaprt.NewLocalDecider(pol), logf); err != nil {
+	if err := swaprt.ServeManager(ln, decider, logf); err != nil {
 		log.Fatalf("swapmgr: %v", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs/obsflag"
 	"repro/internal/swaprt"
 )
 
@@ -102,6 +103,7 @@ func main() {
 		handler  = flag.Duration("handler", 0, "swap-handler probe interval (0 = probe at swap points only)")
 		tcpWorld = flag.Bool("tcp", false, "use the TCP transport between ranks instead of in-process")
 	)
+	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	pol, err := core.Named(*policy)
@@ -141,12 +143,18 @@ func main() {
 		world = mpi.NewWorld(*ranks)
 	}
 
+	tracer, err := traceFlags.Tracer(*ranks)
+	if err != nil {
+		fatal(err)
+	}
+
 	cfg := swaprt.Config{
 		Active:          *active,
 		Policy:          pol,
 		Probe:           inj.probe,
 		Logf:            log.Printf,
 		HandlerInterval: *handler,
+		Tracer:          tracer,
 	}
 	if *manager != "" {
 		cfg.Decider = swaprt.RemoteDecider{Addr: *manager}
@@ -196,6 +204,9 @@ func main() {
 	fmt.Printf("completed %d iterations on %d/%d ranks in %.2fs with %d swap participations\n",
 		*iters, *active, *ranks, time.Since(start).Seconds(), totalSwaps)
 	fmt.Printf("runtime stats: %s\n", stats)
+	if err := traceFlags.Write(tracer, log.Printf); err != nil {
+		fatal(err)
+	}
 }
 
 func busyWait(d time.Duration) {

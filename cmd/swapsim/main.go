@@ -17,6 +17,8 @@ import (
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/obs/obsflag"
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/simkern"
@@ -51,6 +53,7 @@ func main() {
 		minApp  = flag.Float64("minapp", -1, "override: minimum application improvement fraction")
 		history = flag.Float64("history", -1, "override: history window seconds")
 	)
+	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	technique, err := strategy.ByName(*tech)
@@ -136,7 +139,19 @@ func main() {
 
 	k := simkern.New()
 	plat := platform.New(k, platform.Default(*hosts, load), rng.NewSource(*seed))
+	// Simulated runs trace on the virtual clock, producing the same
+	// Chrome/Perfetto trace format as live swaprun executions.
+	tracer, err := traceFlags.Tracer(*active, obs.WithClock(k.Now))
+	if err != nil {
+		fatal(err)
+	}
+	k.SetTracer(tracer)
 	res := technique.Run(plat, strategy.Scenario{Active: *active, App: a, Policy: pol})
+	if err := traceFlags.Write(tracer, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}); err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("technique       %s\n", res.Strategy)
 	fmt.Printf("policy          %s\n", pol)

@@ -1,6 +1,6 @@
-// Command swapvet runs the project's static-analysis suite: four analyzers
-// (simdeterminism, lockedio, deadlineio, mpierr) encoding the runtime
-// invariants the codebase depends on. It is standard-library only — package
+// Command swapvet runs the project's static-analysis suite: five analyzers
+// (simdeterminism, lockedio, deadlineio, mpierr, obsdiscipline) encoding the
+// runtime invariants the codebase depends on. It is standard-library only — package
 // loading is `go list` plus the go/importer source importer — and exits
 // non-zero when any finding survives the //swapvet:ignore directives.
 //

@@ -1,0 +1,83 @@
+// Command tracecheck validates a Chrome/Perfetto trace_event JSON file
+// produced by -trace-out: every entry must carry the required
+// trace_event keys, and (unless -no-decision) at least one SwapDecision
+// instant must include the payback distance and policy verdict the
+// swapping policy computed. CI's trace-smoke target runs it against a
+// fresh 2-rank swaprun demo.
+//
+// Example:
+//
+//	swaprun -ranks 2 -active 1 -trace-out run.json && tracecheck run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	noDecision := flag.Bool("no-decision", false, "skip the SwapDecision payload requirement (traces from runs that never reach a decision point)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-no-decision] <trace.json>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	entries, err := obs.ValidateChromeTrace(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+
+	decisions := 0
+	complete := 0
+	for _, e := range entries {
+		name, _ := e["name"].(string)
+		if name != obs.KindSwapDecision.String() {
+			continue
+		}
+		decisions++
+		args, _ := e["args"].(map[string]any)
+		if args == nil {
+			continue
+		}
+		_, hasPayback := args["payback"].(float64)
+		verdict, _ := args["verdict"].(string)
+		if verdict == "stay" {
+			// A rejected decision legitimately has no payback (the gate
+			// may fire before the payback is computed); the verdict and
+			// reason alone make it complete.
+			if _, ok := args["reason"].(string); ok {
+				complete++
+			}
+			continue
+		}
+		if hasPayback && verdict != "" {
+			complete++
+		}
+	}
+
+	if !*noDecision {
+		if decisions == 0 {
+			fatal(fmt.Errorf("%s: no SwapDecision events in trace (%d entries)", path, len(entries)))
+		}
+		if complete == 0 {
+			fatal(fmt.Errorf("%s: %d SwapDecision events but none carry payback + verdict", path, decisions))
+		}
+	}
+	fmt.Printf("tracecheck: %s ok — %d entries, %d decisions (%d with full payback payload)\n",
+		path, len(entries), decisions, complete)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

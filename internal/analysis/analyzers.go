@@ -2,7 +2,7 @@ package analysis
 
 // All returns the full swapvet analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{SimDeterminism, LockedIO, DeadlineIO, MPIErr}
+	return []*Analyzer{SimDeterminism, LockedIO, DeadlineIO, MPIErr, ObsDiscipline}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -110,6 +110,7 @@ func TestSimDeterminismGolden(t *testing.T) { runGolden(t, analysis.SimDetermini
 func TestLockedIOGolden(t *testing.T)       { runGolden(t, analysis.LockedIO) }
 func TestDeadlineIOGolden(t *testing.T)     { runGolden(t, analysis.DeadlineIO) }
 func TestMPIErrGolden(t *testing.T)         { runGolden(t, analysis.MPIErr) }
+func TestObsDisciplineGolden(t *testing.T)  { runGolden(t, analysis.ObsDiscipline) }
 
 // TestAnalyzerScoping pins each analyzer's Applies scope: the deterministic
 // and deadline rules are package-targeted, the lock and error rules are
@@ -129,6 +130,11 @@ func TestAnalyzerScoping(t *testing.T) {
 		{analysis.DeadlineIO, "repro/internal/simkern", false},
 		{analysis.LockedIO, "repro/internal/anything", true},
 		{analysis.MPIErr, "repro/cmd/swaprun", true},
+		{analysis.ObsDiscipline, "repro/internal/mpi", true},
+		{analysis.ObsDiscipline, "repro/internal/swaprt", true},
+		{analysis.ObsDiscipline, "repro/internal/simkern", true},
+		{analysis.ObsDiscipline, "repro/internal/obs", false},
+		{analysis.ObsDiscipline, "repro/cmd/swaprun", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Applies(c.pkg); got != c.want {
@@ -139,8 +145,8 @@ func TestAnalyzerScoping(t *testing.T) {
 
 // TestByName resolves analyzer subsets for swapvet's -run flag.
 func TestByName(t *testing.T) {
-	if got := len(analysis.ByName("")); got != 4 {
-		t.Fatalf("ByName(\"\") returned %d analyzers, want 4", got)
+	if got := len(analysis.ByName("")); got != 5 {
+		t.Fatalf("ByName(\"\") returned %d analyzers, want 5", got)
 	}
 	sub := analysis.ByName("lockedio,mpierr")
 	if len(sub) != 2 || sub[0].Name != "lockedio" || sub[1].Name != "mpierr" {

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsPkgs are the runtime packages whose hot paths must stay silent:
+// the MPI substrate, the swapping runtime and the simulation kernel.
+// Diagnostics go through obs events (structured, exportable, cheap when
+// disabled) or the injected cfg.Logf; direct printing from these
+// packages bypasses both the rank attribution and the enabled gate, and
+// corrupts the stdout of every command that embeds them.
+var obsPkgs = map[string]bool{
+	"repro/internal/mpi":     true,
+	"repro/internal/swaprt":  true,
+	"repro/internal/simkern": true,
+}
+
+// logFuncs are the stdlib log package-level printers (all write to the
+// process-global logger).
+var logFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// ObsDiscipline forbids direct console output in the runtime packages:
+// fmt print functions (including Fprint* aimed at os.Stdout/os.Stderr),
+// the global log package, and the println/print builtins. Structured
+// events belong in obs; operator messages belong in the caller-injected
+// Logf.
+var ObsDiscipline = &Analyzer{
+	Name:    "obsdiscipline",
+	Doc:     "forbid fmt/log console printing in the runtime packages (mpi, swaprt, simkern); use obs events or cfg.Logf",
+	Applies: func(pkgPath string) bool { return obsPkgs[pkgPath] },
+	Run:     runObsDiscipline,
+}
+
+func runObsDiscipline(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			p.checkObsCall(call)
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkObsCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "println" || b.Name() == "print") {
+			p.Reportf(call.Pos(), "builtin %s in a runtime package; emit an obs event or use cfg.Logf", b.Name())
+			return
+		}
+	}
+	pkg, name, ok := p.pkgFunc(call)
+	if !ok {
+		return
+	}
+	switch pkg {
+	case "fmt":
+		switch name {
+		case "Print", "Printf", "Println":
+			p.Reportf(call.Pos(), "fmt.%s in a runtime package; emit an obs event or use cfg.Logf", name)
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && isStdStream(p, call.Args[0]) {
+				p.Reportf(call.Pos(), "fmt.%s to a standard stream in a runtime package; emit an obs event or use cfg.Logf", name)
+			}
+		}
+	case "log":
+		if logFuncs[name] {
+			p.Reportf(call.Pos(), "log.%s in a runtime package; emit an obs event or use cfg.Logf", name)
+		}
+	}
+}
+
+// isStdStream reports whether the expression is os.Stdout or os.Stderr.
+func isStdStream(p *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "os"
+}

@@ -1,0 +1,40 @@
+// Package fixture seeds console-output violations for the obsdiscipline
+// golden test: direct fmt/log printing and the println builtin, which
+// the runtime packages must route through obs events or cfg.Logf.
+package fixture
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+// logf stands in for the caller-injected Config.Logf sink.
+var logf = func(format string, args ...any) {}
+
+func directPrints(rank int) {
+	fmt.Printf("rank %d probing\n", rank) // want `fmt\.Printf in a runtime package`
+	fmt.Println("swap point reached")     // want `fmt\.Println in a runtime package`
+	fmt.Print("barrier\n")                // want `fmt\.Print in a runtime package`
+	log.Printf("rank %d: %v", rank, nil)  // want `log\.Printf in a runtime package`
+	log.Println("handler started")        // want `log\.Println in a runtime package`
+	println("debug", rank)                // want `builtin println in a runtime package`
+	fmt.Fprintf(os.Stderr, "oops %d", 1)  // want `fmt\.Fprintf to a standard stream in a runtime package`
+	fmt.Fprintln(os.Stdout, "iter done")  // want `fmt\.Fprintln to a standard stream in a runtime package`
+}
+
+func fatalExit() {
+	log.Fatalf("cannot continue") // want `log\.Fatalf in a runtime package`
+}
+
+// allowed shows the sanctioned forms: formatting without printing,
+// writing to an arbitrary (injected) writer, and the Logf indirection.
+func allowed(rank int, sb *strings.Builder) string {
+	s := fmt.Sprintf("rank %d", rank)
+	fmt.Fprintf(sb, "into a builder: %s", s)
+	logf("swaprt: rank %d ready", rank)
+	err := fmt.Errorf("rank %d failed", rank)
+	_ = err
+	return s
+}

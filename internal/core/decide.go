@@ -55,6 +55,26 @@ func BottleneckAppPerf(rates []float64) float64 {
 	return m
 }
 
+// Explanation records why a Decide call reached its verdict: the inputs
+// the payback algebra saw, the decisive pair's numbers, and which gate
+// decided. For an accepted decision the decisive pair is the first (the
+// slowest-active/fastest-spare headline swap); for a rejection it is the
+// pair the first failing gate stopped on. Observability (internal/obs)
+// attaches this to SwapDecision events so traces answer "why did rank k
+// swap here?" without rerunning the policy.
+type Explanation struct {
+	Considered int     `json:"considered"`          // candidate pairs examined
+	IterTime   float64 `json:"iter_time"`           // old iteration time (s)
+	SwapTime   float64 `json:"swap_time"`           // predicted swap cost (s)
+	OldPerf    float64 `json:"old_perf,omitempty"`  // decisive pair: active rate
+	NewPerf    float64 `json:"new_perf,omitempty"`  // decisive pair: spare rate
+	ProcGain   float64 `json:"proc_gain,omitempty"` // decisive pair: process gain
+	AppGain    float64 `json:"app_gain,omitempty"`  // decisive pair: app gain
+	Payback    float64 `json:"payback,omitempty"`   // decisive pair: payback distance
+	Verdict    string  `json:"verdict"`             // "swap" or "stay"
+	Reason     string  `json:"reason"`              // the gate that decided, with numbers
+}
+
 // Decide applies the policy to propose swaps, following the paper: "All
 // three policies, when they decide to swap, swap the slowest active
 // processor(s) for the fastest inactive processor(s)". Pairs are
@@ -70,6 +90,12 @@ func BottleneckAppPerf(rates []float64) float64 {
 //
 // Consideration stops at the first rejected pair.
 func (p Policy) Decide(in DecideInput) []SwapPair {
+	out, _ := p.DecideExplained(in)
+	return out
+}
+
+// DecideExplained is Decide plus an Explanation of the verdict.
+func (p Policy) DecideExplained(in DecideInput) ([]SwapPair, Explanation) {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
@@ -106,21 +132,51 @@ func (p Policy) Decide(in DecideInput) []SwapPair {
 		rates[i] = c.Rate
 	}
 
+	exp := Explanation{IterTime: in.IterTime, SwapTime: in.SwapTime,
+		Verdict: "stay", Reason: "no candidate pairs"}
+	switch {
+	case len(active) == 0:
+		exp.Reason = "no active candidates"
+	case len(spare) == 0:
+		exp.Reason = "no spare candidates"
+	}
+
 	var out []SwapPair
 	n := len(active)
 	if len(spare) < n {
 		n = len(spare)
 	}
 	for k := 0; k < n; k++ {
-		pair, ok := p.EvaluatePair(active[k], spare[k], rates, k,
+		pair, ok, reason := p.evaluatePair(active[k], spare[k], rates, k,
 			in.IterTime, in.SwapTime, appPerf)
+		exp.Considered++
 		if !ok {
+			// A rejection after accepted pairs keeps the headline swap as
+			// the decisive pair; a rejection with none accepted explains
+			// the stay.
+			if len(out) == 0 {
+				exp.fill(pair, reason)
+			}
 			break
+		}
+		if len(out) == 0 {
+			exp.Verdict = "swap"
+			exp.fill(pair, reason)
 		}
 		out = append(out, pair)
 		rates[k] = spare[k].Rate // app gains accumulate over accepted pairs
 	}
-	return out
+	return out, exp
+}
+
+// fill copies the decisive pair's numbers into the explanation.
+func (e *Explanation) fill(pair SwapPair, reason string) {
+	e.OldPerf = pair.Out.Rate
+	e.NewPerf = pair.In.Rate
+	e.ProcGain = pair.ProcGain
+	e.AppGain = pair.AppGain
+	e.Payback = pair.Payback
+	e.Reason = reason
 }
 
 // EvaluatePair applies the policy's gates to one specific candidate swap:
@@ -131,35 +187,50 @@ func (p Policy) Decide(in DecideInput) []SwapPair {
 func (p Policy) EvaluatePair(out, in Candidate, rates []float64, idx int,
 	iterTime, swapTime float64, appPerf func([]float64) float64) (SwapPair, bool) {
 
+	pair, ok, _ := p.evaluatePair(out, in, rates, idx, iterTime, swapTime, appPerf)
+	if !ok {
+		return SwapPair{}, false
+	}
+	return pair, true
+}
+
+// evaluatePair is EvaluatePair plus the gate verdict in words. On
+// rejection the returned pair still carries whatever numbers the gates
+// computed before failing, so explanations can show them.
+func (p Policy) evaluatePair(out, in Candidate, rates []float64, idx int,
+	iterTime, swapTime float64, appPerf func([]float64) float64) (SwapPair, bool, string) {
+
 	if appPerf == nil {
 		appPerf = BottleneckAppPerf
 	}
+	pair := SwapPair{Out: out, In: in}
 	if in.Rate <= out.Rate {
-		return SwapPair{}, false
+		return pair, false, fmt.Sprintf("spare rate %.4g not above active rate %.4g",
+			in.Rate, out.Rate)
 	}
-	procGain := in.Rate/out.Rate - 1
-	if procGain <= p.MinProcImprovement {
-		return SwapPair{}, false
+	pair.ProcGain = in.Rate/out.Rate - 1
+	if pair.ProcGain <= p.MinProcImprovement {
+		return pair, false, fmt.Sprintf("process gain %.3g <= minimum %.3g",
+			pair.ProcGain, p.MinProcImprovement)
 	}
-	payback := PaybackDistance(swapTime, iterTime, out.Rate, in.Rate)
-	if payback > p.PaybackThreshold {
-		return SwapPair{}, false
+	pair.Payback = PaybackDistance(swapTime, iterTime, out.Rate, in.Rate)
+	if pair.Payback > p.PaybackThreshold {
+		return pair, false, fmt.Sprintf("payback %.3g iterations > threshold %.3g",
+			pair.Payback, p.PaybackThreshold)
 	}
 	oldPerf := appPerf(rates)
 	newRates := append([]float64(nil), rates...)
 	newRates[idx] = in.Rate
 	newPerf := appPerf(newRates)
-	appGain := 0.0
 	if oldPerf > 0 {
-		appGain = newPerf/oldPerf - 1
+		pair.AppGain = newPerf/oldPerf - 1
 	}
-	if p.MinAppImprovement > 0 && appGain <= p.MinAppImprovement {
-		return SwapPair{}, false
+	if p.MinAppImprovement > 0 && pair.AppGain <= p.MinAppImprovement {
+		return pair, false, fmt.Sprintf("application gain %.3g <= minimum %.3g",
+			pair.AppGain, p.MinAppImprovement)
 	}
-	return SwapPair{
-		Out: out, In: in,
-		ProcGain: procGain, AppGain: appGain, Payback: payback,
-	}, true
+	return pair, true, fmt.Sprintf("payback %.3g iterations within threshold %.3g",
+		pair.Payback, p.PaybackThreshold)
 }
 
 // RelocateInput describes a proposed whole-application relocation, the

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecideExplainedSwap: an accepted decision explains itself with the
+// headline pair's payback numbers and a "swap" verdict.
+func TestDecideExplainedSwap(t *testing.T) {
+	in := DecideInput{
+		Active:   cands(100, 200),
+		Spare:    []Candidate{{ID: 10, Rate: 400}},
+		IterTime: 60,
+		SwapTime: 1,
+	}
+	swaps, exp := Safe().DecideExplained(in)
+	if len(swaps) != 1 {
+		t.Fatalf("got %d swaps, want 1", len(swaps))
+	}
+	if exp.Verdict != "swap" {
+		t.Fatalf("verdict %q, want swap: %+v", exp.Verdict, exp)
+	}
+	if exp.OldPerf != 100 || exp.NewPerf != 400 {
+		t.Fatalf("decisive pair rates = %g/%g, want 100/400", exp.OldPerf, exp.NewPerf)
+	}
+	if exp.Payback != swaps[0].Payback || exp.Payback <= 0 {
+		t.Fatalf("payback %g, want %g", exp.Payback, swaps[0].Payback)
+	}
+	if exp.IterTime != 60 || exp.SwapTime != 1 || exp.Considered != 1 {
+		t.Fatalf("inputs not echoed: %+v", exp)
+	}
+	if !strings.Contains(exp.Reason, "payback") {
+		t.Fatalf("reason %q does not name the gate", exp.Reason)
+	}
+	// Decide stays the thin wrapper.
+	if got := Safe().Decide(in); len(got) != 1 || got[0] != swaps[0] {
+		t.Fatalf("Decide disagrees with DecideExplained: %+v vs %+v", got, swaps)
+	}
+}
+
+// TestDecideExplainedStay covers the rejection reasons per gate.
+func TestDecideExplainedStay(t *testing.T) {
+	cases := []struct {
+		name   string
+		pol    Policy
+		in     DecideInput
+		reason string
+	}{
+		{
+			name:   "no spares",
+			pol:    Greedy(),
+			in:     DecideInput{Active: cands(100), IterTime: 60, SwapTime: 1},
+			reason: "no spare candidates",
+		},
+		{
+			name: "not faster",
+			pol:  Greedy(),
+			in: DecideInput{Active: cands(100),
+				Spare: []Candidate{{ID: 10, Rate: 90}}, IterTime: 60, SwapTime: 1},
+			reason: "not above active rate",
+		},
+		{
+			name: "payback too far",
+			pol:  Safe(),
+			in: DecideInput{Active: cands(100),
+				Spare: []Candidate{{ID: 10, Rate: 200}}, IterTime: 1, SwapTime: 1e6},
+			reason: "> threshold",
+		},
+		{
+			name: "app gain gate",
+			pol:  Friendly(),
+			in: DecideInput{Active: cands(100, 50),
+				// A spare at 50.5 improves the bottleneck process by 1%,
+				// under friendly's 2% application-gain floor.
+				Spare: []Candidate{{ID: 10, Rate: 50.5}}, IterTime: 60, SwapTime: 0.001},
+			reason: "application gain",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			swaps, exp := tc.pol.DecideExplained(tc.in)
+			if len(swaps) != 0 {
+				t.Fatalf("unexpected swaps: %+v", swaps)
+			}
+			if exp.Verdict != "stay" {
+				t.Fatalf("verdict %q, want stay", exp.Verdict)
+			}
+			if !strings.Contains(exp.Reason, tc.reason) {
+				t.Fatalf("reason %q does not contain %q", exp.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestDecideExplainedKeepsHeadlineOnLaterRejection: when the first pair
+// is accepted and a later pair rejects, the explanation stays with the
+// accepted headline swap.
+func TestDecideExplainedKeepsHeadlineOnLaterRejection(t *testing.T) {
+	in := DecideInput{
+		Active:   cands(100, 200),
+		Spare:    []Candidate{{ID: 10, Rate: 400}, {ID: 11, Rate: 150}},
+		IterTime: 60,
+		SwapTime: 1,
+	}
+	swaps, exp := Safe().DecideExplained(in)
+	if len(swaps) != 1 {
+		t.Fatalf("got %d swaps, want 1", len(swaps))
+	}
+	if exp.Verdict != "swap" || exp.NewPerf != 400 {
+		t.Fatalf("explanation left the headline pair: %+v", exp)
+	}
+	if exp.Considered != 2 {
+		t.Fatalf("considered = %d, want 2", exp.Considered)
+	}
+}

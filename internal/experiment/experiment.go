@@ -75,9 +75,10 @@ type FigureResult struct {
 // Get returns the cell for (series, xIndex).
 func (f *FigureResult) Get(series string, i int) Cell { return f.Cells[series][i] }
 
-// Table renders the figure as a table: one row per X, one column pair per
-// series.
-func (f *FigureResult) Table() *trace.Table {
+// Table renders the figure as a table: one row per X, one column pair
+// per series. A malformed figure (a series missing cells for some X)
+// is reported as an error carrying the figure ID rather than a panic.
+func (f *FigureResult) Table() (*trace.Table, error) {
 	t := &trace.Table{Title: fmt.Sprintf("%s: %s", f.ID, f.Title)}
 	t.Header = []string{f.XLabel}
 	for _, s := range f.Series {
@@ -86,12 +87,19 @@ func (f *FigureResult) Table() *trace.Table {
 	for i, x := range f.X {
 		row := []string{trace.FormatFloat(x)}
 		for _, s := range f.Series {
-			c := f.Cells[s][i]
+			cells, ok := f.Cells[s]
+			if !ok || i >= len(cells) {
+				return nil, fmt.Errorf("experiment: figure %s: series %q has %d cells, want %d",
+					f.ID, s, len(cells), len(f.X))
+			}
+			c := cells[i]
 			row = append(row, trace.FormatFloat(c.Mean), trace.FormatFloat(c.CI95))
 		}
-		t.AddRow(row...)
+		if err := t.TryAddRow(row...); err != nil {
+			return nil, fmt.Errorf("experiment: figure %s, x=%g: %w", f.ID, x, err)
+		}
 	}
-	return t
+	return t, nil
 }
 
 // Plot renders the figure as an ASCII chart of the series means.

@@ -244,7 +244,10 @@ func TestFig9Shape(t *testing.T) {
 
 func TestFigureTableRendering(t *testing.T) {
 	fig := Fig4(quick())
-	tbl := fig.Table()
+	tbl, err := fig.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != len(fig.X) {
 		t.Fatalf("table rows %d != xs %d", len(tbl.Rows), len(fig.X))
 	}
@@ -254,6 +257,19 @@ func TestFigureTableRendering(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "fig4") {
 		t.Fatal("table missing title")
+	}
+}
+
+func TestFigureTableMalformedSeries(t *testing.T) {
+	fig := &FigureResult{
+		ID: "figX", Title: "broken", XLabel: "x",
+		Series: []string{"s"},
+		X:      []float64{1, 2},
+		Cells:  map[string][]Cell{"s": {{Mean: 1}}}, // one cell short
+	}
+	_, err := fig.Table()
+	if err == nil || !strings.Contains(err.Error(), "figX") {
+		t.Fatalf("err = %v, want figure-ID context", err)
 	}
 }
 

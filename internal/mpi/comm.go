@@ -7,6 +7,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // worldCommID identifies the world communicator.
@@ -90,15 +92,24 @@ func (c *Comm) send(to, tag int, data []byte) error {
 	}
 	d := append([]byte(nil), data...)
 	ctr := c.w.counters[c.me]
+	tr := c.w.Tracer()
+	var t0 float64
+	if tr.Enabled() {
+		t0 = tr.Now()
+	}
 	start := time.Now()
 	err := c.w.transport.send(envelope{
 		Comm: c.id, Src: c.me, Dst: c.members[to], Tag: tag, Data: d,
 	})
-	ctr.sendBlock.Add(int64(time.Since(start)))
+	ctr.sendBlock.Add(uint64(time.Since(start)))
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.KindMPISend, Rank: c.me, T: t0,
+			Dur: tr.Now() - t0, Peer: c.members[to], Bytes: int64(len(d))})
+	}
 	if err != nil {
 		return err
 	}
-	ctr.msgsSent.Add(1)
+	ctr.msgsSent.Inc()
 	ctr.bytesSent.Add(uint64(len(d)))
 	return nil
 }
@@ -121,12 +132,22 @@ func (c *Comm) recv(from, tag int) ([]byte, Status, error) {
 		}
 		srcWorld = c.members[from]
 	}
+	tr := c.w.Tracer()
+	var t0 float64
+	if tr.Enabled() {
+		t0 = tr.Now()
+	}
 	env, err := c.w.boxes[c.me].pop(c.id, srcWorld, tag)
 	if err != nil {
 		return nil, Status{}, err
 	}
+	if tr.Enabled() {
+		// Dur is the time this rank spent blocked waiting for the message.
+		tr.Emit(obs.Event{Kind: obs.KindMPIRecv, Rank: c.me, T: t0,
+			Dur: tr.Now() - t0, Peer: env.Src, Bytes: int64(len(env.Data))})
+	}
 	ctr := c.w.counters[c.me]
-	ctr.msgsRecv.Add(1)
+	ctr.msgsRecv.Inc()
 	ctr.bytesRecv.Add(uint64(len(env.Data)))
 	src := -1
 	for i, m := range c.members {
@@ -138,10 +159,28 @@ func (c *Comm) recv(from, tag int) ([]byte, Status, error) {
 	return env.Data, Status{Source: src, Tag: env.Tag}, nil
 }
 
+// traceOp wraps one collective entry in a duration event when tracing is
+// on; when off it costs one atomic pointer load plus one atomic bool
+// load.
+func (c *Comm) traceOp(kind obs.Kind, detail string, body func() error) error {
+	tr := c.w.Tracer()
+	if !tr.Enabled() {
+		return body()
+	}
+	t0 := tr.Now()
+	err := body()
+	tr.Emit(obs.Event{Kind: kind, Rank: c.me, T: t0, Dur: tr.Now() - t0, Detail: detail})
+	return err
+}
+
 // Barrier blocks until every member has entered it.
 func (c *Comm) Barrier() error {
 	c.checkMember()
-	c.w.counters[c.me].barriers.Add(1)
+	c.w.counters[c.me].barriers.Inc()
+	return c.traceOp(obs.KindMPIBarrier, "barrier", c.barrier)
+}
+
+func (c *Comm) barrier() error {
 	me := c.Rank()
 	if me == 0 {
 		for i := 1; i < c.Size(); i++ {
@@ -167,7 +206,17 @@ func (c *Comm) Barrier() error {
 // returns the received copy (root returns its own data).
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	c.checkMember()
-	c.w.counters[c.me].bcasts.Add(1)
+	c.w.counters[c.me].bcasts.Inc()
+	var out []byte
+	err := c.traceOp(obs.KindMPICollective, "bcast", func() error {
+		var err error
+		out, err = c.bcast(root, data)
+		return err
+	})
+	return out, err
+}
+
+func (c *Comm) bcast(root int, data []byte) ([]byte, error) {
 	n := c.Size()
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: bcast root %d of %d", root, n)
@@ -208,7 +257,17 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // indexed by comm rank, others receive nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	c.checkMember()
-	c.w.counters[c.me].gathers.Add(1)
+	c.w.counters[c.me].gathers.Inc()
+	var out [][]byte
+	err := c.traceOp(obs.KindMPICollective, "gather", func() error {
+		var err error
+		out, err = c.gather(root, data)
+		return err
+	})
+	return out, err
+}
+
+func (c *Comm) gather(root int, data []byte) ([][]byte, error) {
 	n := c.Size()
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: gather root %d of %d", root, n)
@@ -247,7 +306,17 @@ var (
 // result, others get 0.
 func (c *Comm) ReduceFloat64(root int, op ReduceOp, x float64) (float64, error) {
 	c.checkMember()
-	c.w.counters[c.me].reduces.Add(1)
+	c.w.counters[c.me].reduces.Inc()
+	var out float64
+	err := c.traceOp(obs.KindMPICollective, "reduce", func() error {
+		var err error
+		out, err = c.reduceFloat64(root, op, x)
+		return err
+	})
+	return out, err
+}
+
+func (c *Comm) reduceFloat64(root int, op ReduceOp, x float64) (float64, error) {
 	if c.Rank() != root {
 		return 0, c.send(root, tagReduce, encodeFloat(x))
 	}

@@ -16,6 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // AnySource matches messages from any rank in Recv.
@@ -129,17 +132,35 @@ type World struct {
 	size      int
 	boxes     []*mailbox
 	counters  []*rankCounters
+	metrics   *obs.Registry
+	tracer    atomic.Pointer[obs.Tracer]
 	transport transport
 }
 
 func newWorldShell(size int) *World {
-	w := &World{size: size}
+	w := &World{size: size, metrics: obs.NewRegistry()}
 	for i := 0; i < size; i++ {
 		w.boxes = append(w.boxes, newMailbox())
-		w.counters = append(w.counters, &rankCounters{})
+		w.counters = append(w.counters, newRankCounters(w.metrics, i))
 	}
 	return w
 }
+
+// Metrics exposes the world's metrics registry: per-rank communication
+// counters ("mpi.rank<r>.*") plus transport-level counters ("mpi.tcp.*"
+// for TCP worlds). Stats() is the typed view over the same values;
+// publish the registry via expvar for live inspection.
+func (w *World) Metrics() *obs.Registry { return w.metrics }
+
+// SetTracer attaches an event tracer; point-to-point and collective
+// operations then emit MPISend/MPIRecv/MPIBarrier/MPICollective events
+// while the tracer is enabled. Passing nil detaches. Safe to call
+// concurrently with running ranks.
+func (w *World) SetTracer(t *obs.Tracer) { w.tracer.Store(t) }
+
+// Tracer reports the attached tracer (nil when none). The returned value
+// is nil-safe to use directly.
+func (w *World) Tracer() *obs.Tracer { return w.tracer.Load() }
 
 // NewWorld creates an in-process world of the given size.
 func NewWorld(size int) *World {

@@ -1,0 +1,79 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWorldTracerEmitsEvents: with a tracer attached and enabled,
+// point-to-point and collective operations produce typed events, and the
+// metrics registry mirrors the Stats() counters.
+func TestWorldTracerEmitsEvents(t *testing.T) {
+	w := NewWorld(2)
+	tr := obs.New(2)
+	tr.Enable()
+	w.SetTracer(tr)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			if err := c.Send(1, 7, []byte("hi")); err != nil {
+				return err
+			}
+		} else {
+			if _, _, err := c.Recv(0, 7); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		_, err := c.Bcast(0, []byte("x"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.Kind]int{}
+	for _, ev := range tr.Events() {
+		counts[ev.Kind]++
+	}
+	// The user Send plus the sends inside barrier and bcast all trace.
+	if counts[obs.KindMPISend] < 3 || counts[obs.KindMPIRecv] < 3 {
+		t.Fatalf("send/recv events = %d/%d, want >= 3 each", counts[obs.KindMPISend], counts[obs.KindMPIRecv])
+	}
+	if counts[obs.KindMPIBarrier] != 2 {
+		t.Fatalf("barrier events = %d, want 2", counts[obs.KindMPIBarrier])
+	}
+	if counts[obs.KindMPICollective] != 2 {
+		t.Fatalf("collective events = %d, want 2", counts[obs.KindMPICollective])
+	}
+
+	// Registry view agrees with the typed Stats view.
+	snap := w.Metrics().Snapshot()
+	st := w.Stats().PerRank[0]
+	if uint64(snap["mpi.rank0.msgs_sent"]) != st.MsgsSent {
+		t.Fatalf("registry %v vs stats %d", snap["mpi.rank0.msgs_sent"], st.MsgsSent)
+	}
+	if st.MsgsSent == 0 {
+		t.Fatal("rank 0 sent nothing")
+	}
+}
+
+// TestWorldNoTracerIsFine: a world with no tracer attached (the default)
+// runs and counts normally.
+func TestWorldNoTracerIsFine(t *testing.T) {
+	w := NewWorld(2)
+	if w.Tracer().Enabled() {
+		t.Fatal("fresh world has enabled tracer")
+	}
+	err := w.Run(func(r *Rank) error {
+		return r.World().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Total().Barriers; got != 2 {
+		t.Fatalf("barriers = %d, want 2", got)
+	}
+}

@@ -3,23 +3,43 @@ package mpi
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// rankCounters is one rank's live counter set. Counters are atomics so
-// the rank's own goroutines (and, for sends, any goroutine the
-// application spawns) can update them without a lock on the hot path.
+// rankCounters is one rank's live counter set. The counters are handles
+// into the world's obs.Registry — updates are single atomic adds, so the
+// rank's own goroutines (and, for sends, any goroutine the application
+// spawns) can update them without a lock on the hot path, while the
+// registry makes the same values visible to snapshots and expvar.
 type rankCounters struct {
-	msgsSent  atomic.Uint64
-	bytesSent atomic.Uint64
-	msgsRecv  atomic.Uint64
-	bytesRecv atomic.Uint64
-	barriers  atomic.Uint64
-	bcasts    atomic.Uint64
-	gathers   atomic.Uint64
-	reduces   atomic.Uint64
-	sendBlock atomic.Int64 // nanoseconds spent inside transport sends
+	msgsSent  *obs.Counter
+	bytesSent *obs.Counter
+	msgsRecv  *obs.Counter
+	bytesRecv *obs.Counter
+	barriers  *obs.Counter
+	bcasts    *obs.Counter
+	gathers   *obs.Counter
+	reduces   *obs.Counter
+	sendBlock *obs.Counter // nanoseconds spent inside transport sends
+}
+
+// newRankCounters registers rank's counters in reg under
+// "mpi.rank<r>.<counter>" and returns the handle set.
+func newRankCounters(reg *obs.Registry, rank int) *rankCounters {
+	name := func(c string) string { return fmt.Sprintf("mpi.rank%d.%s", rank, c) }
+	return &rankCounters{
+		msgsSent:  reg.Counter(name("msgs_sent")),
+		bytesSent: reg.Counter(name("bytes_sent")),
+		msgsRecv:  reg.Counter(name("msgs_recv")),
+		bytesRecv: reg.Counter(name("bytes_recv")),
+		barriers:  reg.Counter(name("barriers")),
+		bcasts:    reg.Counter(name("bcasts")),
+		gathers:   reg.Counter(name("gathers")),
+		reduces:   reg.Counter(name("reduces")),
+		sendBlock: reg.Counter(name("send_block_ns")),
+	}
 }
 
 func (c *rankCounters) snapshot() RankStats {
@@ -101,9 +121,9 @@ func (ws WorldStats) String() string {
 	return b.String()
 }
 
-// Stats snapshots the communication counters of every rank. It is safe
-// to call at any time, including while Run is in progress and after the
-// world has closed.
+// Stats snapshots the communication counters of every rank — a typed view
+// over the world's metrics registry. It is safe to call at any time,
+// including while Run is in progress and after the world has closed.
 func (w *World) Stats() WorldStats {
 	ws := WorldStats{PerRank: make([]RankStats, w.size)}
 	for i, c := range w.counters {

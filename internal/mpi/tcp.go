@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TCP transport tunables. Dials are bounded (attempts with backoff) and
@@ -46,6 +48,14 @@ type tcpTransport struct {
 	addrs     []string
 	conns     []*tcpConn // indexed by destination rank
 
+	// Transport-health counters in the world registry ("mpi.tcp.*"):
+	// dials that succeeded, dial retries after a failed attempt, accepted
+	// inbound connections, and writes that poisoned a connection.
+	dials      *obs.Counter
+	dialRetry  *obs.Counter
+	accepts    *obs.Counter
+	sendErrors *obs.Counter
+
 	mu    sync.Mutex // guards socks and done
 	socks map[net.Conn]struct{}
 	done  bool
@@ -53,7 +63,14 @@ type tcpTransport struct {
 }
 
 func newTCPTransport(w *World) (*tcpTransport, error) {
-	t := &tcpTransport{w: w, socks: map[net.Conn]struct{}{}}
+	t := &tcpTransport{
+		w:          w,
+		socks:      map[net.Conn]struct{}{},
+		dials:      w.metrics.Counter("mpi.tcp.dials"),
+		dialRetry:  w.metrics.Counter("mpi.tcp.dial_retries"),
+		accepts:    w.metrics.Counter("mpi.tcp.accepts"),
+		sendErrors: w.metrics.Counter("mpi.tcp.send_errors"),
+	}
 	t.conns = make([]*tcpConn, w.size)
 	for i := range t.conns {
 		t.conns[i] = &tcpConn{}
@@ -116,6 +133,7 @@ func (t *tcpTransport) acceptLoop(rank int, ln net.Listener) {
 		// never runs.
 		t.wg.Add(1)
 		t.mu.Unlock()
+		t.accepts.Inc()
 		go t.readLoop(rank, conn)
 	}
 }
@@ -145,6 +163,7 @@ func (t *tcpTransport) dial(dst int) (net.Conn, error) {
 	var lastErr error
 	for attempt := 0; attempt < tcpDialAttempts; attempt++ {
 		if attempt > 0 {
+			t.dialRetry.Inc()
 			time.Sleep(backoff)
 			backoff *= 2
 		}
@@ -157,6 +176,7 @@ func (t *tcpTransport) dial(dst int) (net.Conn, error) {
 			_ = conn.Close()
 			return nil, ErrWorldClosed
 		}
+		t.dials.Inc()
 		return conn, nil
 	}
 	return nil, fmt.Errorf("mpi: dial rank %d (%d attempts): %w", dst, tcpDialAttempts, lastErr)
@@ -184,6 +204,7 @@ func (t *tcpTransport) send(env envelope) error {
 	if err := cc.enc.Encode(env); err != nil {
 		// A failed write poisons the gob stream; drop the connection so
 		// the next send to this rank re-dials instead of inheriting it.
+		t.sendErrors.Inc()
 		t.deregister(cc.c)
 		_ = cc.c.Close()
 		cc.c, cc.enc = nil, nil

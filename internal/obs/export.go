@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// WriteJSONL writes every buffered event as one JSON object per line, in
+// the deterministic order of Events. This is the machine-diffable log
+// format; the Chrome trace is the visual one.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		// Encode via a shim so the kind renders as its name, not a number.
+		if err := enc.Encode(jsonEvent{Event: ev, KindName: ev.Kind.String()}); err != nil {
+			return fmt.Errorf("obs: write jsonl: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonEvent overrides the numeric Kind with its symbolic name.
+type jsonEvent struct {
+	Event
+	KindName string `json:"kind"`
+}
+
+// traceEvent is one Chrome trace_event (the JSON array format that
+// chrome://tracing and ui.perfetto.dev load directly). ph is the phase:
+// "B"/"E" begin/end slices, "X" complete slices with dur, "i" instants,
+// "M" metadata.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`    // instant scope: "t" = thread
+	Args  map[string]any `json:"args,omitempty"` // payload
+}
+
+// WriteChromeTrace writes the buffered events as a Chrome trace_event
+// JSON array — one track (tid) per rank plus a "runtime" track, iteration
+// and transfer slices as durations, decisions and probes as instant
+// events carrying their payload in args. Load the file at
+// ui.perfetto.dev or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	runtimeTID := len(t.ranks) // the track for Rank < 0 events
+	out := make([]traceEvent, 0, t.Len()+len(t.ranks)+1)
+
+	// Thread-name metadata so Perfetto labels the tracks.
+	for r := range t.ranks {
+		out = append(out, traceEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	out = append(out, traceEvent{
+		Name: "thread_name", Phase: "M", PID: 0, TID: runtimeTID,
+		Args: map[string]any{"name": "runtime"},
+	})
+
+	for _, ev := range t.Events() {
+		tid := ev.Rank
+		if tid < 0 || tid >= len(t.ranks) {
+			tid = runtimeTID
+		}
+		te := traceEvent{
+			Name: ev.Kind.String(),
+			TS:   ev.T * 1e6,
+			PID:  0,
+			TID:  tid,
+			Args: eventArgs(ev),
+		}
+		switch ev.Kind {
+		case KindIterStart:
+			te.Name, te.Phase = "iteration", "B"
+		case KindIterEnd:
+			te.Name, te.Phase = "iteration", "E"
+		case KindStateTransfer, KindMPISend, KindMPIRecv, KindMPIBarrier, KindMPICollective:
+			te.Phase, te.Dur = "X", ev.Dur*1e6
+		default: // SwapDecision, ManagerAssign, HandlerProbe
+			te.Phase, te.Scope = "i", "t"
+		}
+		out = append(out, te)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: write chrome trace: %w", err)
+	}
+	return bw.Flush()
+}
+
+// eventArgs builds the args payload for the Chrome trace, omitting zero
+// fields so instants stay compact.
+func eventArgs(ev Event) map[string]any {
+	args := map[string]any{}
+	put := func(k string, v any) {
+		switch x := v.(type) {
+		case float64:
+			if x != 0 {
+				args[k] = x
+			}
+		case int64:
+			if x != 0 {
+				args[k] = x
+			}
+		case int:
+			if x != 0 {
+				args[k] = x
+			}
+		case string:
+			if x != "" {
+				args[k] = x
+			}
+		}
+	}
+	put("peer", ev.Peer)
+	put("bytes", ev.Bytes)
+	put("value", ev.Value)
+	put("iter_time", ev.IterTime)
+	put("old_perf", ev.OldPerf)
+	put("new_perf", ev.NewPerf)
+	put("swap_time", ev.SwapTime)
+	put("payback", ev.Payback)
+	put("swaps", ev.Swaps)
+	put("verdict", ev.Verdict)
+	put("reason", ev.Reason)
+	put("detail", ev.Detail)
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// ValidateChromeTrace checks that r holds a loadable trace_event JSON
+// array: every entry carries the required keys (name, ph, ts, pid, tid).
+// It returns the parsed entries for further assertions (cmd/tracecheck
+// and the round-trip test build on it).
+func ValidateChromeTrace(r io.Reader) ([]map[string]any, error) {
+	var entries []map[string]any
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("obs: trace is not a JSON array: %w", err)
+	}
+	for i, e := range entries {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				return nil, fmt.Errorf("obs: trace entry %d missing required key %q", i, key)
+			}
+		}
+	}
+	return entries, nil
+}
+
+// Summary folds the buffered events into aggregate statistics: per-kind
+// counts, the decision-latency distribution, iteration times, and the
+// state-transfer cost breakdown the payback algebra predicts.
+type Summary struct {
+	Counts map[string]int // events per kind name
+
+	DecideLatency stats.Accumulator // seconds per SwapDecision (Dur)
+	IterTime      stats.Accumulator // seconds per completed iteration
+	TransferTime  stats.Accumulator // seconds per state transfer
+	TransferBytes stats.Accumulator // bytes per state transfer
+	SendBlock     stats.Accumulator // seconds per MPI send
+
+	// DecideLatencyHist buckets decision latency (0–10 ms, 20 bins): the
+	// paper's leader decisions are expected well under a millisecond.
+	DecideLatencyHist *stats.Histogram
+	Swaps             int // directives across all decisions
+}
+
+// Summarize builds the Summary for the buffered events.
+func (t *Tracer) Summarize() Summary {
+	s := Summary{
+		Counts:            map[string]int{},
+		DecideLatencyHist: stats.NewHistogram(0, 0.010, 20),
+	}
+	for _, ev := range t.Events() {
+		s.Counts[ev.Kind.String()]++
+		switch ev.Kind {
+		case KindSwapDecision:
+			s.DecideLatency.Add(ev.Dur)
+			s.DecideLatencyHist.Add(ev.Dur)
+			s.Swaps += ev.Swaps
+		case KindIterEnd:
+			s.IterTime.Add(ev.Value)
+		case KindStateTransfer:
+			s.TransferTime.Add(ev.Dur)
+			s.TransferBytes.Add(float64(ev.Bytes))
+		case KindMPISend:
+			s.SendBlock.Add(ev.Dur)
+		}
+	}
+	return s
+}
+
+// String renders a compact multi-line summary.
+func (s Summary) String() string {
+	b := fmt.Sprintf("events:")
+	for _, k := range []Kind{KindIterStart, KindIterEnd, KindSwapDecision, KindStateTransfer,
+		KindMPISend, KindMPIRecv, KindMPIBarrier, KindMPICollective, KindManagerAssign, KindHandlerProbe} {
+		if n := s.Counts[k.String()]; n > 0 {
+			b += fmt.Sprintf(" %s=%d", k, n)
+		}
+	}
+	b += fmt.Sprintf("\ndecisions: %s (swaps %d)", s.DecideLatency.String(), s.Swaps)
+	if s.TransferTime.N() > 0 {
+		b += fmt.Sprintf("\ntransfers: %s, bytes %s", s.TransferTime.String(), s.TransferBytes.String())
+	}
+	if s.IterTime.N() > 0 {
+		b += fmt.Sprintf("\niterations: %s", s.IterTime.String())
+	}
+	return b
+}

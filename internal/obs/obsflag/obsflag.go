@@ -1,0 +1,119 @@
+// Package obsflag binds the standard tracing flags shared by the
+// swaprun, swapexp and swapsim commands — -trace-out, -events-out and
+// -trace-ranks — to an obs.Tracer, so every command exports the same
+// trace formats with the same spelling.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Flags holds the registered tracing flag values after flag.Parse.
+type Flags struct {
+	TraceOut  string // Chrome trace_event JSON (ui.perfetto.dev loadable)
+	EventsOut string // JSONL event log, one event per line
+	Ranks     string // comma-separated rank filter, "" = every rank
+}
+
+// Register binds the tracing flags to fs (flag.CommandLine in the
+// commands) and returns the struct their values land in.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome/Perfetto trace_event JSON file (open at ui.perfetto.dev)")
+	fs.StringVar(&f.EventsOut, "events-out", "", "write a JSONL event log file")
+	fs.StringVar(&f.Ranks, "trace-ranks", "", "restrict tracing to these comma-separated ranks (empty = all)")
+	return f
+}
+
+// Enabled reports whether any trace output was requested, i.e. whether
+// the run should carry a tracer at all.
+func (f *Flags) Enabled() bool { return f.TraceOut != "" || f.EventsOut != "" }
+
+// ParseRanks parses a -trace-ranks list like "0,2,5".
+func ParseRanks(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.Atoi(part)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("obsflag: bad rank %q in -trace-ranks (want non-negative integers)", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Tracer builds an enabled tracer for a world of nranks ranks honoring
+// the rank filter, or nil (safe everywhere) when no output was
+// requested. Extra options — typically obs.WithClock for simulated
+// runs — are appended after the filter.
+func (f *Flags) Tracer(nranks int, opts ...obs.Option) (*obs.Tracer, error) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	if f.Ranks != "" {
+		ranks, err := ParseRanks(f.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range ranks {
+			if r >= nranks {
+				return nil, fmt.Errorf("obsflag: -trace-ranks %d out of world [0,%d)", r, nranks)
+			}
+		}
+		opts = append([]obs.Option{obs.WithRanks(ranks)}, opts...)
+	}
+	tr := obs.New(nranks, opts...)
+	tr.Enable()
+	return tr, nil
+}
+
+// Write exports the collected events to the requested files. A nil
+// tracer is a no-op, so callers run it unconditionally after the run.
+// Each file written is reported through logf (if non-nil).
+func (f *Flags) Write(tr *obs.Tracer, logf func(string, ...any)) error {
+	if tr == nil {
+		return nil
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if f.TraceOut != "" {
+		if err := writeFile(f.TraceOut, tr.WriteChromeTrace); err != nil {
+			return err
+		}
+		logf("wrote Chrome trace (%d events) to %s — open at ui.perfetto.dev", tr.Len(), f.TraceOut)
+	}
+	if f.EventsOut != "" {
+		if err := writeFile(f.EventsOut, tr.WriteJSONL); err != nil {
+			return err
+		}
+		logf("wrote JSONL event log (%d events) to %s", tr.Len(), f.EventsOut)
+	}
+	if d := tr.Dropped(); d > 0 {
+		logf("warning: %d events dropped (per-rank buffer limit)", d)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return fh.Close()
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Kernel owns the virtual clock and event queue. Create one with New.
@@ -27,6 +29,7 @@ type Kernel struct {
 	yield  chan struct{}
 	parked map[*Proc]struct{}
 	nprocs int // live (started, not finished) processes
+	tracer *obs.Tracer
 }
 
 // New returns an empty kernel at virtual time 0.
@@ -39,6 +42,16 @@ func New() *Kernel {
 
 // Now reports the current virtual time in seconds.
 func (k *Kernel) Now() float64 { return k.now }
+
+// SetTracer attaches an event tracer that simulated components read via
+// Tracer. Construct it with obs.WithClock(k.Now) — or stamp events with
+// explicit virtual times — so a simulated run produces the same trace
+// format as a live run, just on the virtual clock. The kernel is
+// sequential, so no synchronization is needed.
+func (k *Kernel) SetTracer(t *obs.Tracer) { k.tracer = t }
+
+// Tracer reports the attached tracer (nil when none; nil is safe to use).
+func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
 
 // Event is a scheduled callback. It can be cancelled until it runs.
 type Event struct {

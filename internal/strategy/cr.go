@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simkern"
 )
@@ -87,6 +88,16 @@ func crBoundary(d *driver, proc *simkern.Proc, iter int, iterTime float64) {
 		IterTime: iterTime,
 		Overhead: overhead,
 	})
+	tr := d.p.Kernel.Tracer()
+	if tr.Enabled() {
+		verdict := "stay"
+		if ok {
+			verdict = "swap"
+		}
+		tr.Emit(obs.Event{Kind: obs.KindSwapDecision, Rank: obs.RankRuntime, T: now,
+			IterTime: iterTime, SwapTime: overhead, Payback: payback,
+			Verdict: verdict, Detail: "relocation"})
+	}
 	if !ok {
 		return
 	}
@@ -98,8 +109,18 @@ func crBoundary(d *driver, proc *simkern.Proc, iter int, iterTime float64) {
 	d.res.Swaps++
 
 	// Enact: checkpoint write, restart, checkpoint read.
+	writeStart := proc.Now()
 	d.transferAll(proc, n, state)
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: obs.RankRuntime, T: writeStart,
+			Dur: proc.Now() - writeStart, Bytes: int64(float64(n) * state), Detail: "checkpoint write"})
+	}
 	proc.Sleep(d.p.StartupTime(n))
+	readStart := proc.Now()
 	d.transferAll(proc, n, state)
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: obs.RankRuntime, T: readStart,
+			Dur: proc.Now() - readStart, Bytes: int64(float64(n) * state), Detail: "checkpoint read"})
+	}
 	d.hosts = best
 }

@@ -1,0 +1,182 @@
+package strategy
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/simkern"
+)
+
+// tracedSwapRun executes one Swap run with a tracer attached to the
+// kernel and returns the result plus the merged event stream.
+func tracedSwapRun(seed int64) (Result, []obs.Event) {
+	p := testPlatform(8, loadgen.NewOnOff(0.3), seed)
+	tr := obs.New(4, obs.WithClock(p.Kernel.Now))
+	tr.Enable()
+	p.Kernel.SetTracer(tr)
+	res := Swap{}.Run(p, Scenario{Active: 4, App: app.Default(8).WithState(50e6), Policy: core.Greedy()})
+	return res, tr.Events()
+}
+
+// TestSimTraceSwap asserts a simulated Swap run emits the same event
+// taxonomy as a live run — iteration brackets per rank, SwapDecision
+// events carrying the payback algebra, StateTransfer legs — all stamped
+// with virtual timestamps inside the run's makespan.
+func TestSimTraceSwap(t *testing.T) {
+	res, events := tracedSwapRun(63)
+	if res.Swaps == 0 {
+		t.Skip("no swaps at this seed")
+	}
+
+	var iterStarts, iterEnds, decisions, transfers int
+	var swapVerdict *obs.Event
+	for _, ev := range events {
+		ev := ev
+		if ev.T < 0 || ev.T > res.TotalTime || ev.T+ev.Dur > res.TotalTime+1e-9 {
+			t.Fatalf("event outside virtual run window [0,%g]: %+v", res.TotalTime, ev)
+		}
+		switch ev.Kind {
+		case obs.KindIterStart:
+			iterStarts++
+		case obs.KindIterEnd:
+			iterEnds++
+		case obs.KindSwapDecision:
+			decisions++
+			if ev.Rank != obs.RankRuntime {
+				t.Fatalf("sim decision on rank %d, want runtime track", ev.Rank)
+			}
+			if ev.Verdict == "swap" && swapVerdict == nil {
+				swapVerdict = &ev
+			}
+		case obs.KindStateTransfer:
+			transfers++
+			if ev.Detail != "out" {
+				t.Fatalf("swap transfer detail %q, want out", ev.Detail)
+			}
+			if ev.Bytes != 50e6 {
+				t.Fatalf("transfer bytes %d, want 50e6", ev.Bytes)
+			}
+		}
+	}
+	wantIters := len(res.Iters) * 4
+	if iterStarts != wantIters || iterEnds != wantIters {
+		t.Fatalf("iteration brackets %d/%d, want %d each", iterStarts, iterEnds, wantIters)
+	}
+	// One decision per boundary (every iteration except the last).
+	if decisions != len(res.Iters)-1 {
+		t.Fatalf("decisions = %d, want %d", decisions, len(res.Iters)-1)
+	}
+	if transfers != res.Swaps {
+		t.Fatalf("transfer events = %d, Result.Swaps = %d", transfers, res.Swaps)
+	}
+	if swapVerdict == nil {
+		t.Fatal("no SwapDecision with verdict swap despite res.Swaps > 0")
+	}
+	if swapVerdict.Payback <= 0 || swapVerdict.Reason == "" ||
+		swapVerdict.OldPerf <= 0 || swapVerdict.NewPerf <= swapVerdict.OldPerf {
+		t.Fatalf("swap decision algebra incomplete: %+v", swapVerdict)
+	}
+
+	// The virtual-time event stream must export to the same Chrome trace
+	// format as live runs.
+	p2 := testPlatform(8, loadgen.NewOnOff(0.3), 63)
+	tr2 := obs.New(4, obs.WithClock(p2.Kernel.Now))
+	tr2.Enable()
+	p2.Kernel.SetTracer(tr2)
+	Swap{}.Run(p2, Scenario{Active: 4, App: app.Default(8).WithState(50e6), Policy: core.Greedy()})
+	var buf bytes.Buffer
+	if err := tr2.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimTraceDeterministic pins that tracing does not perturb the
+// simulation and that two identical runs emit identical event streams
+// (virtual timestamps and all).
+func TestSimTraceDeterministic(t *testing.T) {
+	res1, ev1 := tracedSwapRun(99)
+	res2, ev2 := tracedSwapRun(99)
+	if res1.TotalTime != res2.TotalTime || res1.Swaps != res2.Swaps {
+		t.Fatalf("traced runs diverged: %g/%d vs %g/%d",
+			res1.TotalTime, res1.Swaps, res2.TotalTime, res2.Swaps)
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatalf("event streams differ: %d vs %d events", len(ev1), len(ev2))
+	}
+	// Tracing must not change the simulation outcome at all.
+	plain := Swap{}.Run(testPlatform(8, loadgen.NewOnOff(0.3), 99),
+		Scenario{Active: 4, App: app.Default(8).WithState(50e6), Policy: core.Greedy()})
+	tr := obs.New(4)
+	tr.Enable()
+	p := testPlatform(8, loadgen.NewOnOff(0.3), 99)
+	p.Kernel.SetTracer(tr)
+	traced := Swap{}.Run(p, Scenario{Active: 4, App: app.Default(8).WithState(50e6), Policy: core.Greedy()})
+	if plain.TotalTime != traced.TotalTime || plain.Swaps != traced.Swaps {
+		t.Fatalf("tracing perturbed the run: %g/%d vs %g/%d",
+			plain.TotalTime, plain.Swaps, traced.TotalTime, traced.Swaps)
+	}
+}
+
+// TestSimTraceCR asserts CR relocations emit a runtime-track decision
+// labelled "relocation" plus checkpoint write/read transfer legs.
+func TestSimTraceCR(t *testing.T) {
+	seed := int64(23)
+	k0 := simkern.New()
+	p0 := platform.New(k0, platform.Default(3, nil), rng.NewSource(seed))
+	victim := p0.FastestAt(0, 1, nil)[0]
+
+	k := simkern.New()
+	p := platform.New(k, platform.Default(3, loadedFirstHost{victim: victim}), rng.NewSource(seed))
+	tr := obs.New(1, obs.WithClock(k.Now))
+	tr.Enable()
+	k.SetTracer(tr)
+	a := app.Iterative{Iterations: 10, WorkPerProcIter: 60 * 500e6, BytesPerIter: 1e3, StateBytes: 1e6}
+	res := CR{}.Run(p, Scenario{Active: 1, App: a, Policy: core.Greedy()})
+	if res.Swaps == 0 {
+		t.Fatal("cr never relocated")
+	}
+
+	var relocations, writes, reads int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case obs.KindSwapDecision:
+			if ev.Detail != "relocation" {
+				t.Fatalf("cr decision detail %q, want relocation", ev.Detail)
+			}
+			if ev.Verdict == "swap" {
+				if ev.Payback <= 0 || ev.SwapTime <= 0 {
+					t.Fatalf("relocation algebra incomplete: %+v", ev)
+				}
+				relocations++
+			}
+		case obs.KindStateTransfer:
+			switch ev.Detail {
+			case "checkpoint write":
+				writes++
+			case "checkpoint read":
+				reads++
+			default:
+				t.Fatalf("cr transfer detail %q", ev.Detail)
+			}
+			if ev.Bytes != 1e6 || ev.Dur <= 0 {
+				t.Fatalf("checkpoint leg malformed: %+v", ev)
+			}
+		}
+	}
+	if relocations != res.Swaps {
+		t.Fatalf("relocation verdicts = %d, Result.Swaps = %d", relocations, res.Swaps)
+	}
+	if writes != res.Swaps || reads != res.Swaps {
+		t.Fatalf("checkpoint legs write=%d read=%d, want %d each", writes, reads, res.Swaps)
+	}
+}

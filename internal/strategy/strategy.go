@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/predict"
 	"repro/internal/rng"
@@ -221,6 +222,17 @@ func run(p *platform.Platform, sc Scenario, name string, chunks chunkFunc, bound
 				ComputeDone: computeDone,
 				End:         end,
 				Hosts:       append([]int(nil), d.hosts...),
+			}
+			// Trace the iteration per rank with explicit virtual
+			// timestamps, so simulated runs export in the same format as
+			// live ones (one track per rank, B/E iteration slices).
+			if tr := k.Tracer(); tr.Enabled() {
+				for r := 0; r < sc.Active; r++ {
+					tr.Emit(obs.Event{Kind: obs.KindIterStart, Rank: r, T: start,
+						Peer: d.hosts[r]})
+					tr.Emit(obs.Event{Kind: obs.KindIterEnd, Rank: r, T: end,
+						Value: end - start, Peer: d.hosts[r]})
+				}
 			}
 
 			// Boundary: the technique may swap, rebalance or checkpoint.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/simkern"
@@ -43,16 +44,34 @@ func swapBoundary(d *driver, proc *simkern.Proc, iter int, iterTime float64) {
 	}
 
 	pol := d.sc.policy()
+	tr := d.p.Kernel.Tracer()
+	swapTime := d.predictedSwapTime()
 	var swaps []core.SwapPair
 	if d.selStream != nil {
-		swaps = randomSelect(pol, d.selStream, active, spare, iterTime, d.predictedSwapTime())
+		swaps = randomSelect(pol, d.selStream, active, spare, iterTime, swapTime)
+		if tr.Enabled() {
+			verdict := "stay"
+			if len(swaps) > 0 {
+				verdict = "swap"
+			}
+			tr.Emit(obs.Event{Kind: obs.KindSwapDecision, Rank: obs.RankRuntime, T: now,
+				IterTime: iterTime, SwapTime: swapTime, Swaps: len(swaps),
+				Verdict: verdict, Detail: "random selection"})
+		}
 	} else {
-		swaps = pol.Decide(core.DecideInput{
+		var exp core.Explanation
+		swaps, exp = pol.DecideExplained(core.DecideInput{
 			Active:   active,
 			Spare:    spare,
 			IterTime: iterTime,
-			SwapTime: d.predictedSwapTime(),
+			SwapTime: swapTime,
 		})
+		if tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.KindSwapDecision, Rank: obs.RankRuntime, T: now,
+				IterTime: iterTime, SwapTime: swapTime, Swaps: len(swaps),
+				OldPerf: exp.OldPerf, NewPerf: exp.NewPerf, Payback: exp.Payback,
+				Verdict: exp.Verdict, Reason: exp.Reason})
+		}
 	}
 	if len(swaps) == 0 {
 		return
@@ -72,6 +91,13 @@ func swapBoundary(d *driver, proc *simkern.Proc, iter int, iterTime float64) {
 	}
 	d.res.Swaps += len(swaps)
 	d.transferAll(proc, len(swaps), d.sc.App.StateBytes)
+	if tr.Enabled() {
+		for _, s := range swaps {
+			tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.Out.ID, T: now,
+				Dur: proc.Now() - now, Peer: s.In.ID,
+				Bytes: int64(d.sc.App.StateBytes), Detail: "out"})
+		}
+	}
 }
 
 // randomSelect is the pair-selection ablation: instead of pairing the

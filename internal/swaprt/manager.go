@@ -27,9 +27,13 @@ type SwapDirective struct {
 	In  int `json:"in"`
 }
 
-// DecideResponse is the manager's decision.
+// DecideResponse is the manager's decision. Eval, when present, explains
+// the verdict (decisive pair, payback distance, which gate decided); it
+// is optional on the wire, so old swapmgr daemons interoperate with new
+// runtimes and vice versa.
 type DecideResponse struct {
-	Swaps []SwapDirective `json:"swaps"`
+	Swaps []SwapDirective   `json:"swaps"`
+	Eval  *core.Explanation `json:"eval,omitempty"`
 }
 
 // Decider is the swap manager's decision core. Implementations must be
@@ -123,13 +127,13 @@ func (d *LocalDecider) Decide(req DecideRequest) (DecideResponse, error) {
 	if req.IterTime <= 0 {
 		return DecideResponse{}, nil
 	}
-	pairs := d.Policy.Decide(core.DecideInput{
+	pairs, eval := d.Policy.DecideExplained(core.DecideInput{
 		Active:   active,
 		Spare:    spare,
 		IterTime: req.IterTime,
 		SwapTime: req.SwapTime,
 	})
-	var resp DecideResponse
+	resp := DecideResponse{Eval: &eval}
 	for _, p := range pairs {
 		resp.Swaps = append(resp.Swaps, SwapDirective{Out: p.Out.ID, In: p.In.ID})
 	}

@@ -5,11 +5,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // tagState is the reserved user tag for state transfers on the world
@@ -56,6 +56,12 @@ type Config struct {
 	// to a spare regardless of the policy's thresholds. Nil means no
 	// evictions. Must be safe for concurrent use.
 	Evicted func(worldRank int) bool
+	// Tracer, when set, receives structured runtime events (iterations,
+	// swap decisions with the full payback algebra, state transfers,
+	// manager assignments, handler probes) and is attached to the world so
+	// MPI operations trace too. Nil (the default) records nothing; a set
+	// but disabled tracer costs one atomic load per emit site.
+	Tracer *obs.Tracer
 }
 
 func (c Config) fill() Config {
@@ -107,16 +113,42 @@ func (rs RunStats) String() string {
 		rs.StateRecvTime.Round(time.Microsecond), rs.MPI)
 }
 
-// statsCollector accumulates RunStats contributions from every rank.
-type statsCollector struct {
-	mu sync.Mutex
-	rs RunStats
+// runCounters holds the runtime's metric handles in the world's registry
+// ("swaprt.*"); RunStats is snapshotted from them, so the same numbers
+// are live on expvar during the run and in the returned stats after it.
+type runCounters struct {
+	swapPoints  *obs.Counter
+	swaps       *obs.Counter
+	decisions   *obs.Counter
+	decideNS    *obs.Counter
+	stateBytes  *obs.Counter
+	stateSendNS *obs.Counter
+	stateRecvNS *obs.Counter
 }
 
-func (sc *statsCollector) add(f func(*RunStats)) {
-	sc.mu.Lock()
-	f(&sc.rs)
-	sc.mu.Unlock()
+func newRunCounters(reg *obs.Registry) *runCounters {
+	return &runCounters{
+		swapPoints:  reg.Counter("swaprt.swap_points"),
+		swaps:       reg.Counter("swaprt.swaps"),
+		decisions:   reg.Counter("swaprt.decisions"),
+		decideNS:    reg.Counter("swaprt.decide_ns"),
+		stateBytes:  reg.Counter("swaprt.state_bytes"),
+		stateSendNS: reg.Counter("swaprt.state_send_ns"),
+		stateRecvNS: reg.Counter("swaprt.state_recv_ns"),
+	}
+}
+
+// snapshot builds the typed RunStats view over the counters.
+func (rc *runCounters) snapshot() RunStats {
+	return RunStats{
+		SwapPoints:    int(rc.swapPoints.Load()),
+		Swaps:         int(rc.swaps.Load()),
+		Decisions:     int(rc.decisions.Load()),
+		DecideTime:    time.Duration(rc.decideNS.Load()),
+		StateBytes:    int64(rc.stateBytes.Load()),
+		StateSendTime: time.Duration(rc.stateSendNS.Load()),
+		StateRecvTime: time.Duration(rc.stateRecvNS.Load()),
+	}
 }
 
 // Session is one rank's handle on the swapping runtime. All methods must
@@ -125,7 +157,8 @@ type Session struct {
 	r     *mpi.Rank
 	cfg   Config
 	mgr   *manager
-	stats *statsCollector
+	stats *runCounters
+	tr    *obs.Tracer // == cfg.Tracer; nil-safe
 
 	state     *stateSet
 	active    bool
@@ -211,17 +244,23 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 		decider = NewLocalDecider(cfg.Policy)
 	}
 	mgr := newManager(world.Size(), cfg, decider)
+	if cfg.Tracer != nil {
+		world.SetTracer(cfg.Tracer)
+	}
 
-	// Swap handlers: periodic out-of-band probing, one per rank.
+	// Swap handlers: periodic out-of-band probing, one per rank. If the
+	// decider cannot accept reports, skip the handler machinery entirely —
+	// no stop channel, no goroutines — and say so once.
 	if cfg.HandlerInterval > 0 {
-		if rep, ok := decider.(Reporter); ok {
+		rep, ok := decider.(Reporter)
+		if !ok {
+			cfg.Logf("swaprt: HandlerInterval set but decider does not accept reports; handlers not started")
+		} else {
 			stop := make(chan struct{})
 			defer close(stop)
 			for rank := 0; rank < world.Size(); rank++ {
 				go handlerLoop(rank, cfg, rep, stop)
 			}
-		} else {
-			cfg.Logf("swaprt: HandlerInterval set but decider does not accept reports")
 		}
 	}
 
@@ -230,13 +269,14 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 		initial[i] = i
 	}
 
-	sc := &statsCollector{}
+	rc := newRunCounters(world.Metrics())
 	err := world.Run(func(r *mpi.Rank) error {
 		s := &Session{
 			r:         r,
 			cfg:       cfg,
 			mgr:       mgr,
-			stats:     sc,
+			stats:     rc,
+			tr:        cfg.Tracer,
 			state:     newStateSet(),
 			activeSet: append([]int(nil), initial...),
 			iterStart: cfg.Clock(),
@@ -249,6 +289,7 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 		}
 		if s.active {
 			s.comm = r.CommOf(initial, 0)
+			s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: r.Rank()})
 		}
 		// Whatever happens, release parked spares when this rank exits:
 		// actives finishing normally end the application; an active
@@ -264,9 +305,7 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 		}
 		return err
 	})
-	sc.mu.Lock()
-	rs := sc.rs
-	sc.mu.Unlock()
+	rs := rc.snapshot()
 	rs.MPI = world.Stats()
 	return rs, err
 }
@@ -295,6 +334,10 @@ func (s *Session) swapPointSpare() error {
 	// Swapped in: receive the registered state from the outgoing rank on
 	// the world communicator.
 	world := s.r.World()
+	var t0 float64
+	if s.tr.Enabled() {
+		t0 = s.tr.Now()
+	}
 	start := time.Now()
 	data, _, err := world.Recv(a.stateFrom, tagState)
 	if err != nil {
@@ -304,13 +347,18 @@ func (s *Session) swapPointSpare() error {
 		return err
 	}
 	recvDur := time.Since(start)
-	s.stats.add(func(rs *RunStats) { rs.StateRecvTime += recvDur })
+	s.stats.stateRecvNS.Add(uint64(recvDur))
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
+			Dur: s.tr.Now() - t0, Peer: a.stateFrom, Bytes: int64(len(data)), Detail: "in"})
+	}
 	s.epoch = a.epoch
 	s.activeSet = append([]int(nil), a.activeSet...)
 	s.comm = s.r.CommOf(s.activeSet, s.epoch)
 	s.active = true
 	s.swaps++
 	s.iterStart = s.cfg.Clock()
+	s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
 	s.cfg.Logf("rank %d swapped in (epoch %d, state %dB in %s, from rank %d)",
 		s.r.Rank(), s.epoch, len(data), recvDur.Round(time.Microsecond), a.stateFrom)
 	return nil
@@ -327,7 +375,8 @@ func (s *Session) swapPointActive() error {
 	now := s.cfg.Clock()
 	iterTime := now - s.iterStart
 	s.encCache = nil // state may have changed since the last swap point
-	s.stats.add(func(rs *RunStats) { rs.SwapPoints++ })
+	s.stats.swapPoints.Inc()
+	s.tr.EmitNow(obs.Event{Kind: obs.KindIterEnd, Rank: s.r.Rank(), Value: iterTime})
 
 	// Measurement report: every active rank probes its own host; the
 	// vector is allgathered so the leader can decide and every member
@@ -341,17 +390,34 @@ func (s *Session) swapPointActive() error {
 	var plan planMsg
 	if s.comm.Rank() == 0 {
 		swapTime := core.SwapTime(*s.cfg.LinkLatency, *s.cfg.LinkBandwidth, s.stateSizeEstimate())
+		var t0 float64
+		if s.tr.Enabled() {
+			t0 = s.tr.Now()
+		}
 		decideStart := time.Now()
 		resp, err := s.mgr.decide(s.epoch, now, s.activeSet, rates, s.r.Size(), iterTime, swapTime)
 		decideDur := time.Since(decideStart)
 		if err != nil {
 			return err
 		}
-		s.stats.add(func(rs *RunStats) {
-			rs.Decisions++
-			rs.DecideTime += decideDur
-			rs.Swaps += len(resp.Swaps)
-		})
+		s.stats.decisions.Inc()
+		s.stats.decideNS.Add(uint64(decideDur))
+		s.stats.swaps.Add(uint64(len(resp.Swaps)))
+		if s.tr.Enabled() {
+			ev := obs.Event{Kind: obs.KindSwapDecision, Rank: s.r.Rank(), T: t0,
+				Dur: s.tr.Now() - t0, IterTime: iterTime, SwapTime: swapTime,
+				Swaps: len(resp.Swaps)}
+			if e := resp.Eval; e != nil {
+				ev.OldPerf, ev.NewPerf = e.OldPerf, e.NewPerf
+				ev.Payback = e.Payback
+				ev.Verdict, ev.Reason = e.Verdict, e.Reason
+			} else if len(resp.Swaps) > 0 {
+				ev.Verdict = "swap"
+			} else {
+				ev.Verdict = "stay"
+			}
+			s.tr.Emit(ev)
+		}
 		s.cfg.Logf("rank %d decision: %d swaps in %s (epoch %d)",
 			s.r.Rank(), len(resp.Swaps), decideDur.Round(time.Microsecond), s.epoch)
 		plan.Swaps = resp.Swaps
@@ -379,6 +445,7 @@ func (s *Session) swapPointActive() error {
 	}
 	if len(plan.Swaps) == 0 {
 		s.iterStart = s.cfg.Clock()
+		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
 		return nil
 	}
 
@@ -396,12 +463,18 @@ func (s *Session) swapPointActive() error {
 				s.cfg.Logf("%v", err)
 				return err
 			}
+			s.tr.EmitNow(obs.Event{Kind: obs.KindManagerAssign, Rank: s.r.Rank(),
+				Peer: sw.In, Detail: fmt.Sprintf("state from rank %d", sw.Out)})
 		}
 	}
 
 	// Am I swapped out?
 	for _, sw := range plan.Swaps {
 		if sw.Out == s.r.Rank() {
+			var t0 float64
+			if s.tr.Enabled() {
+				t0 = s.tr.Now()
+			}
 			start := time.Now()
 			data := s.encCache // reuse the leader's size-estimate encoding
 			if data == nil {
@@ -414,10 +487,12 @@ func (s *Session) swapPointActive() error {
 				return fmt.Errorf("swaprt: rank %d state send: %w", s.r.Rank(), err)
 			}
 			sendDur := time.Since(start)
-			s.stats.add(func(rs *RunStats) {
-				rs.StateBytes += int64(len(data))
-				rs.StateSendTime += sendDur
-			})
+			s.stats.stateBytes.Add(uint64(len(data)))
+			s.stats.stateSendNS.Add(uint64(sendDur))
+			if s.tr.Enabled() {
+				s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
+					Dur: s.tr.Now() - t0, Peer: sw.In, Bytes: int64(len(data)), Detail: "out"})
+			}
 			s.cfg.Logf("rank %d swapped out (epoch %d, state %dB in %s, to rank %d)",
 				s.r.Rank(), plan.NewEpoch, len(data), sendDur.Round(time.Microsecond), sw.In)
 			s.active = false
@@ -432,6 +507,7 @@ func (s *Session) swapPointActive() error {
 	s.epoch = plan.NewEpoch
 	s.comm = s.r.CommOf(s.activeSet, s.epoch)
 	s.iterStart = s.cfg.Clock()
+	s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
 	return nil
 }
 
@@ -446,6 +522,7 @@ func handlerLoop(rank int, cfg Config, rep Reporter, stop <-chan struct{}) {
 			return
 		case <-t.C:
 			msg := ReportMsg{Rank: rank, Now: cfg.Clock(), Rate: cfg.Probe(rank)}
+			cfg.Tracer.EmitNow(obs.Event{Kind: obs.KindHandlerProbe, Rank: rank, Value: msg.Rate})
 			if err := rep.Report(msg); err != nil {
 				cfg.Logf("swaprt: handler %d report: %v", rank, err)
 			}

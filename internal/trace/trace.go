@@ -18,12 +18,22 @@ type Table struct {
 	Rows   [][]string `json:"rows"`
 }
 
-// AddRow appends a row; it panics if the width does not match the header.
-func (t *Table) AddRow(cells ...string) {
+// TryAddRow appends a row, reporting a malformed width as an error so
+// callers assembling tables from computed data can attach their own
+// context instead of crashing.
+func (t *Table) TryAddRow(cells ...string) error {
 	if len(t.Header) != 0 && len(cells) != len(t.Header) {
-		panic(fmt.Sprintf("trace: row width %d != header width %d", len(cells), len(t.Header)))
+		return fmt.Errorf("trace: row width %d != header width %d", len(cells), len(t.Header))
 	}
 	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// AddRow appends a row; it panics if the width does not match the header.
+func (t *Table) AddRow(cells ...string) {
+	if err := t.TryAddRow(cells...); err != nil {
+		panic(err.Error())
+	}
 }
 
 // AddFloatRow appends a row of formatted floats after a leading label.

@@ -13,6 +13,20 @@ func sample() *Table {
 	return t
 }
 
+func TestTryAddRow(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	if err := tb.TryAddRow("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.TryAddRow("only-one")
+	if err == nil || !strings.Contains(err.Error(), "row width 1 != header width 2") {
+		t.Fatalf("err = %v, want width mismatch", err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("malformed row appended: %v", tb.Rows)
+	}
+}
+
 func TestAddRowWidthMismatchPanics(t *testing.T) {
 	tb := &Table{Header: []string{"a", "b"}}
 	defer func() {
