@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench figures ablations extensions check fuzz trace-smoke clean
+.PHONY: all build vet lint test race bench figures ablations extensions check fuzz trace-smoke chaos-smoke clean
 
 all: build vet lint test
 
@@ -60,6 +60,21 @@ trace-smoke:
 	$(GO) run ./cmd/swapsim -tech swap -hosts 6 -active 2 -iters 10 -seed 63 \
 		-trace-out results/trace-smoke-sim.json
 	$(GO) run ./cmd/tracecheck results/trace-smoke-sim.json
+
+# Fault-injected end-to-end run (DESIGN.md §13): the fastest spare dies
+# mid-run (its swap must abort and quarantine it), the decision service
+# goes down for a window (the circuit breaker must open, probe, and
+# close), and the run must still finish with the exact fault-free
+# result — swaprun exits non-zero on a corrupted accumulator. tracecheck
+# -chaos then requires the quarantine and circuit-recovery evidence in
+# the exported trace.
+chaos-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/swaprun -ranks 3 -active 1 -iters 25 -work 5 \
+		-inject '0@0.05:8,1@0:4' \
+		-chaos 'seed=7;die:rank=2,iter=3;mgrdown:after=2,count=6' \
+		-transfer-timeout 250ms -trace-out results/trace-chaos.json
+	$(GO) run ./cmd/tracecheck -chaos results/trace-chaos.json
 
 fuzz:
 	$(GO) test -fuzz FuzzParseTraceCSV -fuzztime 30s ./internal/loadgen/

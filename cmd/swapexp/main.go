@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/mpi"
+	"repro/internal/mpi/fault"
 	"repro/internal/obs/obsflag"
 	"repro/internal/report"
 	"repro/internal/swaprt"
@@ -37,18 +38,22 @@ func main() {
 		list    = flag.Bool("list", false, "list every experiment ID and exit")
 		check   = flag.Bool("check", false, "run the full claim battery (report.Claims) and exit non-zero on failure")
 		live    = flag.Bool("live", false, "run a small live-runtime demo (internal/swaprt over TCP) and print its stats")
+		chaos   = flag.String("chaos", "", "fault plan for the live demo (see internal/mpi/fault); empty for none")
 	)
 	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *live {
-		if err := liveDemo(traceFlags); err != nil {
+		if err := liveDemo(traceFlags, *chaos); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if traceFlags.Enabled() {
 		fatal(fmt.Errorf("-trace-out/-events-out apply to the live runtime demo; add -live (simulation sweeps trace via swapsim)"))
+	}
+	if *chaos != "" {
+		fatal(fmt.Errorf("-chaos applies to the live runtime demo; add -live"))
 	}
 
 	if *check {
@@ -175,14 +180,26 @@ func write(fig *experiment.FigureResult, format string, f *os.File) error {
 // probe that makes rank 1's host collapse partway through, and a greedy
 // policy that swaps it out. It prints the RunStats (including the MPI
 // per-rank transport counters) so the instrumented path is exercised
-// end to end from the command line.
-func liveDemo(traceFlags *obsflag.Flags) error {
+// end to end from the command line. A chaos spec arms the fault layer
+// and a resilient, fault-gated decider on top of the same demo.
+func liveDemo(traceFlags *obsflag.Flags, chaos string) error {
 	const (
 		ranks  = 4
 		active = 2
 		iters  = 30
 	)
-	world, err := mpi.NewTCPWorld(ranks)
+	var plan *fault.Plan
+	if chaos != "" {
+		var err error
+		if plan, err = fault.Parse(chaos); err != nil {
+			return err
+		}
+	}
+	worldCfg := mpi.Config{Size: ranks, TCP: true}
+	if plan != nil {
+		worldCfg.Fault = plan
+	}
+	world, err := mpi.NewWorldWithConfig(worldCfg)
 	if err != nil {
 		return err
 	}
@@ -207,6 +224,22 @@ func liveDemo(traceFlags *obsflag.Flags) error {
 			fmt.Printf("  "+format+"\n", args...)
 		},
 	}
+	if plan != nil {
+		cfg.TransferTimeout = 500 * time.Millisecond
+		resilient := &swaprt.ResilientDecider{
+			Primary:       swaprt.GatedDecider{Inner: swaprt.NewLocalDecider(core.Greedy()), Gate: plan.ManagerCall},
+			Fallback:      swaprt.NewLocalDecider(core.Greedy()),
+			MaxAttempts:   2,
+			FailThreshold: 2,
+			ProbeInterval: 50 * time.Millisecond,
+			Tracer:        tracer,
+			Logf:          cfg.Logf,
+			Metrics:       world.Metrics(),
+		}
+		defer resilient.Close()
+		cfg.Decider = resilient
+		fmt.Printf("live demo: chaos plan armed: %s\n", chaos)
+	}
 	fmt.Printf("live demo: %d ranks (TCP), %d active, %d iterations, greedy policy\n",
 		ranks, active, iters)
 	stats, err := swaprt.RunWithStats(world, cfg, func(s *swaprt.Session) error {
@@ -222,6 +255,9 @@ func liveDemo(traceFlags *obsflag.Flags) error {
 				}
 				acc += v
 				iter++
+				if plan != nil {
+					plan.Advance(s.Rank())
+				}
 				if s.Comm().Rank() == 0 {
 					iterCount = iter
 				}

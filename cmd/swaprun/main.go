@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/mpi/fault"
 	"repro/internal/obs/obsflag"
 	"repro/internal/swaprt"
 )
@@ -102,6 +103,8 @@ func main() {
 		inject   = flag.String("inject", "1@0.3:8", "load schedule: rank@seconds:factor[,...]; empty for none")
 		handler  = flag.Duration("handler", 0, "swap-handler probe interval (0 = probe at swap points only)")
 		tcpWorld = flag.Bool("tcp", false, "use the TCP transport between ranks instead of in-process")
+		chaos    = flag.String("chaos", "", "fault plan, e.g. 'seed=7;die:rank=2,iter=3;mgrdown:after=2,count=6' (see internal/mpi/fault); empty for none")
+		transfer = flag.Duration("transfer-timeout", 0, "per-leg state-transfer deadline before a swap aborts (0 = runtime default)")
 	)
 	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
@@ -133,14 +136,23 @@ func main() {
 		}()
 	}
 
-	var world *mpi.World
-	if *tcpWorld {
-		world, err = mpi.NewTCPWorld(*ranks)
-		if err != nil {
+	var plan *fault.Plan
+	if *chaos != "" {
+		if plan, err = fault.Parse(*chaos); err != nil {
 			fatal(err)
 		}
-	} else {
-		world = mpi.NewWorld(*ranks)
+		log.Printf("chaos: fault plan armed: %s", *chaos)
+	}
+
+	worldCfg := mpi.Config{Size: *ranks, TCP: *tcpWorld}
+	if plan != nil {
+		// Only a non-nil plan goes into the interface field: a typed nil
+		// would arm an injector that panics on first use.
+		worldCfg.Fault = plan
+	}
+	world, err := mpi.NewWorldWithConfig(worldCfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	tracer, err := traceFlags.Tracer(*ranks)
@@ -154,16 +166,40 @@ func main() {
 		Probe:           inj.probe,
 		Logf:            log.Printf,
 		HandlerInterval: *handler,
+		TransferTimeout: *transfer,
 		Tracer:          tracer,
 	}
+	var primary swaprt.Decider
 	if *manager != "" {
-		cfg.Decider = swaprt.RemoteDecider{Addr: *manager}
+		primary = swaprt.RemoteDecider{Addr: *manager}
 		log.Printf("using remote swap manager at %s", *manager)
+	} else if plan != nil {
+		// Chaos without a daemon still needs a primary the plan can take
+		// down, so local decisions stand in for the manager.
+		primary = swaprt.NewLocalDecider(pol)
+	}
+	if primary != nil {
+		if plan != nil {
+			primary = swaprt.GatedDecider{Inner: primary, Gate: plan.ManagerCall}
+		}
+		resilient := &swaprt.ResilientDecider{
+			Primary:       primary,
+			Fallback:      swaprt.NewLocalDecider(pol),
+			MaxAttempts:   2,
+			FailThreshold: 2,
+			ProbeInterval: 50 * time.Millisecond,
+			Tracer:        tracer,
+			Logf:          log.Printf,
+			Metrics:       world.Metrics(),
+		}
+		defer resilient.Close()
+		cfg.Decider = resilient
 	}
 
 	start := time.Now()
 	var mu sync.Mutex
 	totalSwaps := 0
+	corrupt := false
 	stats, err := swaprt.RunWithStats(world, cfg, func(s *swaprt.Session) error {
 		iter := 0
 		acc := 0.0
@@ -180,6 +216,9 @@ func main() {
 				}
 				acc += v
 				iter++
+				if plan != nil {
+					plan.Advance(s.Rank())
+				}
 			}
 			if err := s.SwapPoint(); err != nil {
 				return err
@@ -193,6 +232,9 @@ func main() {
 			status := "OK"
 			if acc != want {
 				status = fmt.Sprintf("CORRUPT (acc=%g want=%g)", acc, want)
+				mu.Lock()
+				corrupt = true
+				mu.Unlock()
 			}
 			log.Printf("finished %d iterations on rank %d: %s", iter, s.Rank(), status)
 		}
@@ -206,6 +248,9 @@ func main() {
 	fmt.Printf("runtime stats: %s\n", stats)
 	if err := traceFlags.Write(tracer, log.Printf); err != nil {
 		fatal(err)
+	}
+	if corrupt {
+		fatal(fmt.Errorf("numerical result corrupted; see log"))
 	}
 }
 

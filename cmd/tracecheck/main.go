@@ -2,8 +2,11 @@
 // produced by -trace-out: every entry must carry the required
 // trace_event keys, and (unless -no-decision) at least one SwapDecision
 // instant must include the payback distance and policy verdict the
-// swapping policy computed. CI's trace-smoke target runs it against a
-// fresh 2-rank swaprun demo.
+// swapping policy computed. With -chaos it additionally requires the
+// evidence a fault-injected run must leave behind: at least one
+// Quarantine event and a Circuit "open" transition followed by a
+// "close". CI's trace-smoke and chaos-smoke targets run it against
+// fresh swaprun demos.
 //
 // Example:
 //
@@ -13,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/obs"
@@ -20,6 +24,7 @@ import (
 
 func main() {
 	noDecision := flag.Bool("no-decision", false, "skip the SwapDecision payload requirement (traces from runs that never reach a decision point)")
+	chaosCheck := flag.Bool("chaos", false, "require fault-injection evidence: a Quarantine event and a Circuit open followed by a close")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-no-decision] <trace.json>")
@@ -73,8 +78,46 @@ func main() {
 			fatal(fmt.Errorf("%s: %d SwapDecision events but none carry payback + verdict", path, decisions))
 		}
 	}
-	fmt.Printf("tracecheck: %s ok — %d entries, %d decisions (%d with full payback payload)\n",
-		path, len(entries), decisions, complete)
+
+	quarantines := 0
+	if *chaosCheck {
+		firstOpen, lastClose := math.Inf(1), math.Inf(-1)
+		opens, closes := 0, 0
+		for _, e := range entries {
+			name, _ := e["name"].(string)
+			ts, _ := e["ts"].(float64)
+			args, _ := e["args"].(map[string]any)
+			detail, _ := args["detail"].(string)
+			switch name {
+			case obs.KindQuarantine.String():
+				quarantines++
+			case obs.KindCircuit.String():
+				switch detail {
+				case "open":
+					opens++
+					firstOpen = math.Min(firstOpen, ts)
+				case "close":
+					closes++
+					lastClose = math.Max(lastClose, ts)
+				}
+			}
+		}
+		if quarantines == 0 {
+			fatal(fmt.Errorf("%s: chaos run left no Quarantine event", path))
+		}
+		if opens == 0 || closes == 0 {
+			fatal(fmt.Errorf("%s: circuit transitions open=%d close=%d, want at least one of each", path, opens, closes))
+		}
+		if lastClose < firstOpen {
+			fatal(fmt.Errorf("%s: circuit closed (ts %.0f) only before it first opened (ts %.0f)", path, lastClose, firstOpen))
+		}
+	}
+
+	fmt.Printf("tracecheck: %s ok — %d entries, %d decisions (%d with full payback payload)", path, len(entries), decisions, complete)
+	if *chaosCheck {
+		fmt.Printf(", %d quarantines + circuit recovery", quarantines)
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

@@ -10,7 +10,10 @@ import (
 // deadlinePkgs are the live-runtime packages whose socket I/O must be
 // deadline-bounded: the TCP message mesh and the swapping runtime's control
 // and checkpoint connections. A read or write with no deadline turns one
-// dead peer into a hung mesh.
+// dead peer into a hung mesh. The match is exact, deliberately excluding
+// repro/internal/mpi/fault: the chaos layer does no socket I/O of its own
+// (its delay rules sleep inside the transport wrapper, which is not a
+// conn read/write), so it must not inherit the mpi package's obligations.
 var deadlinePkgs = map[string]bool{
 	"repro/internal/mpi":    true,
 	"repro/internal/swaprt": true,

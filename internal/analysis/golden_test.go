@@ -128,6 +128,9 @@ func TestAnalyzerScoping(t *testing.T) {
 		{analysis.DeadlineIO, "repro/internal/mpi", true},
 		{analysis.DeadlineIO, "repro/internal/swaprt", true},
 		{analysis.DeadlineIO, "repro/internal/simkern", false},
+		// The chaos layer does no socket I/O of its own; it must not
+		// inherit the mpi package's deadline obligations by prefix.
+		{analysis.DeadlineIO, "repro/internal/mpi/fault", false},
 		{analysis.LockedIO, "repro/internal/anything", true},
 		{analysis.MPIErr, "repro/cmd/swaprun", true},
 		{analysis.ObsDiscipline, "repro/internal/mpi", true},

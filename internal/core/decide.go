@@ -39,6 +39,19 @@ type DecideInput struct {
 	AppPerf func(rates []float64) float64
 }
 
+// Filter returns the candidates for which keep reports true, preserving
+// order. The input is not modified; the swap manager uses it to exclude
+// quarantined or evicted hosts from the decider's candidate pool.
+func Filter(cands []Candidate, keep func(Candidate) bool) []Candidate {
+	var out []Candidate
+	for _, c := range cands {
+		if keep(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // BottleneckAppPerf is the default application performance model: with
 // equal work partitions the iteration time is set by the slowest host, so
 // application performance is proportional to the minimum rate.

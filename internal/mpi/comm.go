@@ -159,6 +159,49 @@ func (c *Comm) recv(from, tag int) ([]byte, Status, error) {
 	return env.Data, Status{Source: src, Tag: env.Tag}, nil
 }
 
+// RecvTimeout is Recv with a deadline: it returns ErrRecvTimeout if no
+// matching message arrives within timeout. A timed-out receive consumes
+// nothing — a message that arrives later can still be matched by a
+// subsequent receive. The swapping runtime uses this to bound the state
+// transfer to a spare that may have died.
+func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, Status, error) {
+	c.checkMember()
+	if tag != AnyTag {
+		c.checkTag(tag)
+	}
+	srcWorld := AnySource
+	if from != AnySource {
+		if from < 0 || from >= len(c.members) {
+			return nil, Status{}, fmt.Errorf("mpi: recv from comm rank %d of %d", from, len(c.members))
+		}
+		srcWorld = c.members[from]
+	}
+	tr := c.w.Tracer()
+	var t0 float64
+	if tr.Enabled() {
+		t0 = tr.Now()
+	}
+	env, err := c.w.boxes[c.me].popDeadline(c.id, srcWorld, tag, time.Now().Add(timeout))
+	if err != nil {
+		return nil, Status{}, err
+	}
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.KindMPIRecv, Rank: c.me, T: t0,
+			Dur: tr.Now() - t0, Peer: env.Src, Bytes: int64(len(env.Data))})
+	}
+	ctr := c.w.counters[c.me]
+	ctr.msgsRecv.Inc()
+	ctr.bytesRecv.Add(uint64(len(env.Data)))
+	src := -1
+	for i, m := range c.members {
+		if m == env.Src {
+			src = i
+			break
+		}
+	}
+	return env.Data, Status{Source: src, Tag: env.Tag}, nil
+}
+
 // traceOp wraps one collective entry in a duration event when tracing is
 // on; when off it costs one atomic pointer load plus one atomic bool
 // load.

@@ -1,0 +1,381 @@
+// Package fault is the chaos layer for the mpi substrate: a
+// deterministic, seeded fault plan that injects message-level failures
+// (drops, delays, refused connections, mid-message resets), whole-rank
+// deaths keyed to application iterations, and swap-manager outages.
+//
+// A Plan is parsed from a compact textual spec so the same failure
+// scenario can be named on a command line (-chaos), in a Makefile target
+// and in a regression test, and always replays identically:
+//
+//	seed=7;drop:src=2,count=3;die:rank=3,iter=5;mgrdown:after=2,count=4
+//
+// Grammar:
+//
+//	spec  := [ "seed=" int ";" ] rule { ";" rule }
+//	rule  := action ":" key "=" val { "," key "=" val }
+//	action:= drop | delay | refuse | close | die | mgrdown
+//
+// Message rules (drop/delay/refuse/close) take src and dst (rank number
+// or "*", default any), after=N (skip the first N matching messages),
+// count=N (apply to the next N matches; 0 or absent = unlimited), and
+// prob=P (apply with probability P, drawn from the seeded generator).
+// delay additionally takes ms=N. refuse and close both fail the send
+// with an error — refuse models a connection that never opens, close a
+// connection reset mid-message; the sender cannot tell them apart and
+// neither delivers the message.
+//
+// die:rank=R,iter=K kills rank R once the global iteration count (the
+// maximum over all ranks' Advance calls) reaches K: every later message
+// to or from R fails. iter=0 means dead from the start.
+//
+// mgrdown:after=N,count=M makes ManagerCall return an error for calls
+// N+1..N+M (count=0 = forever after the first N), modeling a swap
+// manager outage with recovery.
+//
+// Rules are evaluated in spec order; the first rule that fires decides
+// the message's fate. All counters and the random stream are protected
+// by one mutex, so a Plan is safe for concurrent use from every rank.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// ErrInjected is the base cause of every send failure a Plan injects;
+// test assertions can errors.Is against it.
+var ErrInjected = errors.New("fault: injected failure")
+
+// ErrManagerDown is returned by ManagerCall during an injected outage
+// window.
+var ErrManagerDown = errors.New("fault: manager down")
+
+// action is a message rule's effect.
+type action int
+
+const (
+	actDrop action = iota
+	actDelay
+	actRefuse
+	actClose
+)
+
+func (a action) String() string {
+	return [...]string{"drop", "delay", "refuse", "close"}[a]
+}
+
+// msgRule is one drop/delay/refuse/close rule.
+type msgRule struct {
+	act   action
+	src   int // -1 = any
+	dst   int // -1 = any
+	after int // skip the first `after` matches
+	count int // fire on the next `count` matches; 0 = unlimited
+	prob  float64
+	delay time.Duration
+
+	hits int // matches seen so far (armed or not)
+}
+
+// dieRule kills a rank at a given global iteration.
+type dieRule struct {
+	rank int
+	iter int
+}
+
+// mgrRule is one manager outage window over the ManagerCall counter.
+type mgrRule struct {
+	after int
+	count int
+}
+
+// Plan is a parsed, seeded fault plan. It implements mpi.FaultInjector.
+// The zero value is not usable; build plans with Parse.
+type Plan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*msgRule
+	dies  []dieRule
+	mgrs  []mgrRule
+
+	iters    map[int]int // per-rank Advance counters
+	maxIter  int
+	mgrCalls int
+}
+
+// Parse builds a Plan from a spec string (see the package comment for
+// the grammar). An empty spec yields a valid plan that injects nothing.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{iters: map[int]int{}}
+	var seed int64 = 1
+	for i, part := range splitNonEmpty(spec, ";") {
+		if i == 0 && strings.HasPrefix(part, "seed=") {
+			n, err := strconv.ParseInt(strings.TrimPrefix(part, "seed="), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed in %q: %v", part, err)
+			}
+			seed = n
+			continue
+		}
+		if err := p.parseRule(part); err != nil {
+			return nil, err
+		}
+	}
+	p.rng = rand.New(rand.NewSource(seed))
+	return p, nil
+}
+
+// MustParse is Parse that panics on error, for tests and literals.
+func MustParse(spec string) *Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func splitNonEmpty(s, sep string) []string {
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func (p *Plan) parseRule(s string) error {
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return fmt.Errorf("fault: rule %q has no ':'", s)
+	}
+	kv := map[string]string{}
+	for _, pair := range splitNonEmpty(rest, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("fault: rule %q: %q is not key=val", s, pair)
+		}
+		kv[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	getInt := func(key string, def int) (int, error) {
+		v, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		delete(kv, key)
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("fault: rule %q: bad %s=%q", s, key, v)
+		}
+		return n, nil
+	}
+	getRank := func(key string) (int, error) {
+		v, ok := kv[key]
+		if !ok || v == "*" {
+			delete(kv, key)
+			return -1, nil
+		}
+		delete(kv, key)
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("fault: rule %q: bad %s=%q", s, key, v)
+		}
+		return n, nil
+	}
+	checkLeftover := func() error {
+		for k := range kv {
+			return fmt.Errorf("fault: rule %q: unknown key %q", s, k)
+		}
+		return nil
+	}
+
+	switch name {
+	case "drop", "delay", "refuse", "close":
+		r := &msgRule{prob: 1}
+		switch name {
+		case "drop":
+			r.act = actDrop
+		case "delay":
+			r.act = actDelay
+		case "refuse":
+			r.act = actRefuse
+		case "close":
+			r.act = actClose
+		}
+		var err error
+		if r.src, err = getRank("src"); err != nil {
+			return err
+		}
+		if r.dst, err = getRank("dst"); err != nil {
+			return err
+		}
+		if r.after, err = getInt("after", 0); err != nil {
+			return err
+		}
+		if r.count, err = getInt("count", 0); err != nil {
+			return err
+		}
+		if v, ok := kv["prob"]; ok {
+			delete(kv, "prob")
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return fmt.Errorf("fault: rule %q: bad prob=%q", s, v)
+			}
+			r.prob = f
+		}
+		if r.act == actDelay {
+			ms, err := getInt("ms", -1)
+			if err != nil {
+				return err
+			}
+			if ms < 0 {
+				return fmt.Errorf("fault: rule %q: delay needs ms=N", s)
+			}
+			r.delay = time.Duration(ms) * time.Millisecond
+		}
+		if err := checkLeftover(); err != nil {
+			return err
+		}
+		p.rules = append(p.rules, r)
+	case "die":
+		rank, err := getInt("rank", -1)
+		if err != nil {
+			return err
+		}
+		if rank < 0 {
+			return fmt.Errorf("fault: rule %q: die needs rank=R", s)
+		}
+		iter, err := getInt("iter", 0)
+		if err != nil {
+			return err
+		}
+		if err := checkLeftover(); err != nil {
+			return err
+		}
+		p.dies = append(p.dies, dieRule{rank: rank, iter: iter})
+	case "mgrdown":
+		after, err := getInt("after", 0)
+		if err != nil {
+			return err
+		}
+		count, err := getInt("count", 0)
+		if err != nil {
+			return err
+		}
+		if err := checkLeftover(); err != nil {
+			return err
+		}
+		p.mgrs = append(p.mgrs, mgrRule{after: after, count: count})
+	default:
+		return fmt.Errorf("fault: unknown action %q in rule %q", name, s)
+	}
+	return nil
+}
+
+// Fault implements mpi.FaultInjector: it rules on one message from src
+// to dst. Dead ranks fail every message first; otherwise the first
+// armed message rule in spec order fires.
+func (p *Plan) Fault(src, dst int) mpi.FaultVerdict {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range p.dies {
+		if p.maxIter >= d.iter && (src == d.rank || dst == d.rank) {
+			return mpi.FaultVerdict{
+				Err:    fmt.Errorf("rank %d dead since iter %d: %w", d.rank, d.iter, ErrInjected),
+				Detail: fmt.Sprintf("die:rank=%d", d.rank),
+			}
+		}
+	}
+	for _, r := range p.rules {
+		if r.src != -1 && r.src != src {
+			continue
+		}
+		if r.dst != -1 && r.dst != dst {
+			continue
+		}
+		r.hits++
+		if r.hits <= r.after {
+			continue
+		}
+		if r.count > 0 && r.hits > r.after+r.count {
+			continue
+		}
+		if r.prob < 1 && p.rng.Float64() >= r.prob {
+			continue
+		}
+		detail := fmt.Sprintf("%s:src=%d,dst=%d,hit=%d", r.act, src, dst, r.hits)
+		switch r.act {
+		case actDrop:
+			return mpi.FaultVerdict{Drop: true, Detail: detail}
+		case actDelay:
+			return mpi.FaultVerdict{Delay: r.delay, Detail: detail}
+		case actRefuse:
+			return mpi.FaultVerdict{
+				Err:    fmt.Errorf("connection refused %d->%d: %w", src, dst, ErrInjected),
+				Detail: detail,
+			}
+		case actClose:
+			return mpi.FaultVerdict{
+				Err:    fmt.Errorf("connection reset mid-message %d->%d: %w", src, dst, ErrInjected),
+				Detail: detail,
+			}
+		}
+	}
+	return mpi.FaultVerdict{}
+}
+
+// Advance records that rank completed one application iteration. The
+// global iteration count driving die rules is the maximum over ranks, so
+// a single fast rank is enough to advance the clock.
+func (p *Plan) Advance(rank int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.iters[rank]++
+	if p.iters[rank] > p.maxIter {
+		p.maxIter = p.iters[rank]
+	}
+}
+
+// Dead reports whether rank has died under a die rule.
+func (p *Plan) Dead(rank int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range p.dies {
+		if d.rank == rank && p.maxIter >= d.iter {
+			return true
+		}
+	}
+	return false
+}
+
+// ManagerCall advances the manager-call counter and returns
+// ErrManagerDown when the call lands in an mgrdown window. Both decide
+// requests and recovery probes must route through it so probing drains
+// the outage window deterministically.
+func (p *Plan) ManagerCall() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mgrCalls++
+	for _, m := range p.mgrs {
+		if p.mgrCalls <= m.after {
+			continue
+		}
+		if m.count > 0 && p.mgrCalls > m.after+m.count {
+			continue
+		}
+		return fmt.Errorf("call %d in outage window: %w", p.mgrCalls, ErrManagerDown)
+	}
+	return nil
+}
+
+// Empty reports whether the plan has no rules at all (an empty spec).
+func (p *Plan) Empty() bool {
+	return len(p.rules) == 0 && len(p.dies) == 0 && len(p.mgrs) == 0
+}

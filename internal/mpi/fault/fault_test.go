@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus:src=1",
+		"drop",
+		"drop:src=x",
+		"drop:prob=2",
+		"drop:wibble=1",
+		"delay:src=1", // missing ms
+		"die:iter=3",  // missing rank
+		"seed=zz;drop:src=1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestEmptySpec(t *testing.T) {
+	p, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Error("empty spec: Empty() = false")
+	}
+	if v := p.Fault(0, 1); v.Drop || v.Err != nil || v.Delay != 0 {
+		t.Errorf("empty plan injected %+v", v)
+	}
+	if err := p.ManagerCall(); err != nil {
+		t.Errorf("empty plan ManagerCall: %v", err)
+	}
+}
+
+func TestDropAfterCount(t *testing.T) {
+	p := MustParse("drop:src=0,dst=1,after=2,count=2")
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, p.Fault(0, 1).Drop)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: drop=%v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+	// Non-matching pairs never count as hits.
+	if p.Fault(1, 0).Drop {
+		t.Error("reverse direction dropped")
+	}
+}
+
+func TestWildcardAndOrder(t *testing.T) {
+	// First matching rule wins: the refuse shadows the drop for dst=2.
+	p := MustParse("refuse:dst=2;drop:src=*")
+	if v := p.Fault(0, 2); v.Err == nil || v.Drop {
+		t.Errorf("dst=2: want refuse error, got %+v", v)
+	}
+	if v := p.Fault(0, 1); !v.Drop {
+		t.Errorf("dst=1: want drop, got %+v", v)
+	}
+}
+
+func TestDelayAndClose(t *testing.T) {
+	p := MustParse("delay:src=1,ms=7;close:src=2")
+	if v := p.Fault(1, 0); v.Delay != 7*time.Millisecond || v.Err != nil {
+		t.Errorf("delay verdict: %+v", v)
+	}
+	v := p.Fault(2, 0)
+	if v.Err == nil || !errors.Is(v.Err, ErrInjected) {
+		t.Errorf("close verdict: %+v", v)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := MustParse("seed=42;drop:prob=0.5")
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, p.Fault(0, 1).Drop)
+		}
+		return out
+	}
+	a, b := run(), run()
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Errorf("prob=0.5 produced %d/%d drops", drops, len(a))
+	}
+}
+
+func TestDieAfterIteration(t *testing.T) {
+	p := MustParse("die:rank=2,iter=3")
+	if p.Dead(2) {
+		t.Fatal("rank 2 dead before any iteration")
+	}
+	if v := p.Fault(0, 2); v.Err != nil {
+		t.Fatalf("pre-death fault: %+v", v)
+	}
+	// The global clock is the max over ranks.
+	for i := 0; i < 3; i++ {
+		p.Advance(0)
+	}
+	if !p.Dead(2) {
+		t.Fatal("rank 2 alive at iter 3")
+	}
+	for _, pair := range [][2]int{{0, 2}, {2, 0}} {
+		v := p.Fault(pair[0], pair[1])
+		if v.Err == nil || !errors.Is(v.Err, ErrInjected) {
+			t.Errorf("fault %v: %+v", pair, v)
+		}
+	}
+	if v := p.Fault(0, 1); v.Err != nil {
+		t.Errorf("unrelated pair faulted: %+v", v)
+	}
+}
+
+func TestManagerWindow(t *testing.T) {
+	p := MustParse("mgrdown:after=2,count=3")
+	var got []bool
+	for i := 0; i < 7; i++ {
+		got = append(got, p.ManagerCall() != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d: down=%v, want %v (all %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if err := MustParse("mgrdown:after=1").ManagerCall(); err != nil {
+		t.Errorf("first call inside after: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stubInjector returns canned verdicts per (src, dst) pair. The fault
+// subpackage provides the real implementation; these tests only exercise
+// the transport wrapping, so a stub avoids an import cycle.
+type stubInjector struct {
+	mu       sync.Mutex
+	verdicts map[[2]int]FaultVerdict
+}
+
+func (s *stubInjector) Fault(src, dst int) FaultVerdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verdicts[[2]int{src, dst}]
+}
+
+func TestRecvTimeout(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		c := r.World()
+		switch r.Rank() {
+		case 0:
+			// Nothing is coming: the receive must time out, not hang.
+			_, _, err := c.RecvTimeout(1, 5, 20*time.Millisecond)
+			if !errors.Is(err, ErrRecvTimeout) {
+				return errors.New("want ErrRecvTimeout")
+			}
+			// A message that arrives later is still matchable.
+			if err := c.Send(1, 9, []byte("go")); err != nil {
+				return err
+			}
+			data, _, err := c.RecvTimeout(1, 7, time.Second)
+			if err != nil {
+				return err
+			}
+			if string(data) != "late" {
+				return errors.New("wrong payload")
+			}
+			return nil
+		default:
+			if _, _, err := c.Recv(0, 9); err != nil {
+				return err
+			}
+			return c.Send(0, 7, []byte("late"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutWorldClosed(t *testing.T) {
+	w := NewWorld(1)
+	var r0 *Rank
+	if err := w.Run(func(r *Rank) error { r0 = r; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := r0.World().RecvTimeout(0, 3, time.Second)
+	if !errors.Is(err, ErrWorldClosed) {
+		t.Fatalf("got %v, want ErrWorldClosed", err)
+	}
+}
+
+func TestFaultTransportDrop(t *testing.T) {
+	inj := &stubInjector{verdicts: map[[2]int]FaultVerdict{
+		{0, 1}: {Drop: true, Detail: "test"},
+	}}
+	w, err := NewWorldWithConfig(Config{Size: 2, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			// The sender sees success even though the message is eaten.
+			return c.Send(1, 1, []byte("lost"))
+		}
+		_, _, err := c.RecvTimeout(0, 1, 30*time.Millisecond)
+		if !errors.Is(err, ErrRecvTimeout) {
+			return errors.New("dropped message was delivered")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Metrics().Counter("mpi.fault.drops").Load(); got < 1 {
+		t.Errorf("mpi.fault.drops = %d, want >= 1", got)
+	}
+}
+
+func TestFaultTransportErrorAndTrace(t *testing.T) {
+	inj := &stubInjector{verdicts: map[[2]int]FaultVerdict{
+		{0, 1}: {Err: errors.New("refused"), Detail: "rule"},
+	}}
+	w, err := NewWorldWithConfig(Config{Size: 2, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(2)
+	tr.Enable()
+	w.SetTracer(tr)
+	runErr := w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			err := c.Send(1, 1, []byte("x"))
+			if err == nil {
+				return errors.New("faulted send succeeded")
+			}
+			return nil
+		}
+		return nil
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if got := w.Metrics().Counter("mpi.fault.errors").Load(); got != 1 {
+		t.Errorf("mpi.fault.errors = %d, want 1", got)
+	}
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.KindFaultInject && ev.Rank == 0 && ev.Peer == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no FaultInject event recorded")
+	}
+}
+
+func TestFaultTransportDelay(t *testing.T) {
+	inj := &stubInjector{verdicts: map[[2]int]FaultVerdict{
+		{0, 1}: {Delay: 10 * time.Millisecond, Detail: "slow"},
+	}}
+	w, err := NewWorldWithConfig(Config{Size: 2, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 0 {
+			return c.Send(1, 1, []byte("eventually"))
+		}
+		data, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(data) != "eventually" {
+			return errors.New("wrong payload")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Metrics().Counter("mpi.fault.delays").Load(); got != 1 {
+		t.Errorf("mpi.fault.delays = %d, want 1", got)
+	}
+}
+
+func TestNewWorldWithConfigPlain(t *testing.T) {
+	// No injector: behaves exactly like NewWorld.
+	w, err := NewWorldWithConfig(Config{Size: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.transport.(*inprocTransport); !ok {
+		t.Errorf("transport = %T, want inprocTransport", w.transport)
+	}
+}

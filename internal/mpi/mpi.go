@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -30,6 +31,11 @@ const AnyTag = -1
 // ErrWorldClosed is returned by operations on a world whose Run has
 // completed or aborted.
 var ErrWorldClosed = errors.New("mpi: world closed")
+
+// ErrRecvTimeout is returned by RecvTimeout when no matching message
+// arrives before the deadline. The mailbox is left untouched, so a later
+// receive can still match the message if it eventually arrives.
+var ErrRecvTimeout = errors.New("mpi: receive timed out")
 
 // envelope is one message in flight. Src and Dst are world ranks.
 type envelope struct {
@@ -73,6 +79,27 @@ func (m *mailbox) push(env envelope) {
 	m.cond.Broadcast()
 }
 
+// match scans the queue for a message matching (comm, src, tag) and, when
+// take is set, removes it. The caller must hold m.mu.
+func (m *mailbox) match(comm uint64, src, tag int, take bool) (envelope, bool) {
+	for i, env := range m.queue {
+		if env.Comm != comm {
+			continue
+		}
+		if src != AnySource && env.Src != src {
+			continue
+		}
+		if tag != AnyTag && env.Tag != tag {
+			continue
+		}
+		if take {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		}
+		return env, true
+	}
+	return envelope{}, false
+}
+
 // pop blocks until a message matching (comm, src, tag) is present and
 // removes it. src/tag may be AnySource/AnyTag. It returns ErrWorldClosed
 // if the mailbox closes while waiting.
@@ -80,21 +107,38 @@ func (m *mailbox) pop(comm uint64, src, tag int) (envelope, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, env := range m.queue {
-			if env.Comm != comm {
-				continue
-			}
-			if src != AnySource && env.Src != src {
-				continue
-			}
-			if tag != AnyTag && env.Tag != tag {
-				continue
-			}
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		if env, ok := m.match(comm, src, tag, true); ok {
 			return env, nil
 		}
 		if m.closed {
 			return envelope{}, ErrWorldClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// popDeadline is pop with a deadline: it returns ErrRecvTimeout once the
+// deadline passes with no matching message. The wake-up is driven by a
+// timer that broadcasts on the mailbox condition, so waiters re-check the
+// clock without polling.
+func (m *mailbox) popDeadline(comm uint64, src, tag int, deadline time.Time) (envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer timer.Stop()
+	for {
+		if env, ok := m.match(comm, src, tag, true); ok {
+			return env, nil
+		}
+		if m.closed {
+			return envelope{}, ErrWorldClosed
+		}
+		if !time.Now().Before(deadline) {
+			return envelope{}, ErrRecvTimeout
 		}
 		m.cond.Wait()
 	}
@@ -188,6 +232,73 @@ func NewTCPWorld(size int) (*World, error) {
 	return w, nil
 }
 
+// FaultVerdict is an injector's ruling on a single message delivery.
+// Zero value means "deliver normally". At most one of Drop/Err should be
+// set; Delay composes with either (the message is delayed, then dropped,
+// failed or delivered).
+type FaultVerdict struct {
+	// Drop silently discards the message: the sender sees success but the
+	// receiver never gets it.
+	Drop bool
+	// Delay holds the message for this long before acting on it.
+	Delay time.Duration
+	// Err fails the send: the sender observes this error and the message
+	// is not delivered. Models refused dials and mid-message resets.
+	Err error
+	// Detail labels the verdict for trace events (e.g. the rule that
+	// fired).
+	Detail string
+}
+
+// FaultInjector decides the fate of each point-to-point message from src
+// to dst. Implementations must be safe for concurrent use: every rank's
+// sends consult the injector. The fault subpackage provides a seeded,
+// deterministic implementation driven by a textual plan.
+type FaultInjector interface {
+	Fault(src, dst int) FaultVerdict
+}
+
+// Config selects a world's size, transport and optional fault injection.
+type Config struct {
+	// Size is the number of ranks; must be positive.
+	Size int
+	// TCP selects the loopback TCP transport instead of the in-process
+	// one.
+	TCP bool
+	// Fault, when non-nil, wraps the transport so every send consults the
+	// injector first. Injected faults are counted under "mpi.fault.*" and
+	// emit FaultInject trace events when a tracer is attached.
+	Fault FaultInjector
+}
+
+// NewWorldWithConfig creates a world per cfg. It generalizes
+// NewWorld/NewTCPWorld with optional fault injection.
+func NewWorldWithConfig(cfg Config) (*World, error) {
+	var (
+		w   *World
+		err error
+	)
+	if cfg.TCP {
+		w, err = NewTCPWorld(cfg.Size)
+	} else {
+		w = NewWorld(cfg.Size)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Fault != nil {
+		w.transport = &faultTransport{
+			w:      w,
+			inner:  w.transport,
+			inj:    cfg.Fault,
+			drops:  w.metrics.Counter("mpi.fault.drops"),
+			delays: w.metrics.Counter("mpi.fault.delays"),
+			errors: w.metrics.Counter("mpi.fault.errors"),
+		}
+	}
+	return w, nil
+}
+
 // Size reports the number of ranks.
 func (w *World) Size() int { return w.size }
 
@@ -264,3 +375,49 @@ func (t *inprocTransport) send(env envelope) error {
 }
 
 func (t *inprocTransport) close() error { return nil }
+
+// faultTransport consults a FaultInjector before handing each envelope to
+// the wrapped transport. It emits FaultInject trace events and counts
+// injected faults so chaos runs are observable.
+type faultTransport struct {
+	w      *World
+	inner  transport
+	inj    FaultInjector
+	drops  *obs.Counter
+	delays *obs.Counter
+	errors *obs.Counter
+}
+
+func (t *faultTransport) send(env envelope) error {
+	v := t.inj.Fault(env.Src, env.Dst)
+	if v.Delay > 0 {
+		t.delays.Inc()
+		t.emit(env, "delay: "+v.Detail)
+		// No locks are held here; sends already run on the caller's
+		// goroutine, so sleeping models link latency faithfully.
+		time.Sleep(v.Delay)
+	}
+	if v.Err != nil {
+		t.errors.Inc()
+		t.emit(env, "error: "+v.Detail)
+		return fmt.Errorf("mpi: injected fault %d->%d: %w", env.Src, env.Dst, v.Err)
+	}
+	if v.Drop {
+		t.drops.Inc()
+		t.emit(env, "drop: "+v.Detail)
+		return nil
+	}
+	return t.inner.send(env)
+}
+
+func (t *faultTransport) emit(env envelope, detail string) {
+	t.w.Tracer().EmitNow(obs.Event{
+		Kind:   obs.KindFaultInject,
+		Rank:   env.Src,
+		Peer:   env.Dst,
+		Bytes:  int64(len(env.Data)),
+		Detail: detail,
+	})
+}
+
+func (t *faultTransport) close() error { return t.inner.close() }

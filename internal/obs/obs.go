@@ -52,6 +52,21 @@ const (
 	KindManagerAssign
 	// KindHandlerProbe is one out-of-band swap-handler measurement.
 	KindHandlerProbe
+	// KindSwapAbort is a proposed swap whose state transfer failed; the
+	// epoch was not committed (Peer = the spare involved, Detail = cause).
+	KindSwapAbort
+	// KindQuarantine marks a spare excluded from future swap candidates
+	// after a failed swap-in (Peer = the quarantined rank).
+	KindQuarantine
+	// KindCircuit is a resilient-decider circuit-breaker transition
+	// (Detail = "open", "half-open" or "close", Reason = cause).
+	KindCircuit
+	// KindFaultInject is one message fault injected by the chaos transport
+	// (Rank = src, Peer = dst, Detail = verdict and rule).
+	KindFaultInject
+	// KindRuntimeError is a recoverable runtime error that was logged and
+	// worked around rather than propagated (Detail = what happened).
+	KindRuntimeError
 )
 
 var kindNames = [...]string{
@@ -65,6 +80,11 @@ var kindNames = [...]string{
 	KindMPICollective: "MPICollective",
 	KindManagerAssign: "ManagerAssign",
 	KindHandlerProbe:  "HandlerProbe",
+	KindSwapAbort:     "SwapAbort",
+	KindQuarantine:    "Quarantine",
+	KindCircuit:       "Circuit",
+	KindFaultInject:   "FaultInject",
+	KindRuntimeError:  "RuntimeError",
 }
 
 // String implements fmt.Stringer.

@@ -2,6 +2,7 @@ package swaprt
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 func TestEvictionForcesSwapRegardlessOfPolicy(t *testing.T) {
@@ -174,6 +176,60 @@ func TestHandlersFeedDeciderHistory(t *testing.T) {
 	}
 }
 
+// brokenReportDecider decides locally but fails every handler report,
+// modeling a decision service whose report sink is down.
+type brokenReportDecider struct{ inner Decider }
+
+func (d brokenReportDecider) Decide(req DecideRequest) (DecideResponse, error) {
+	return d.inner.Decide(req)
+}
+
+func (d brokenReportDecider) Report(ReportMsg) error {
+	return errors.New("report sink down")
+}
+
+func TestHandlerReportFailuresCountedNotTraced(t *testing.T) {
+	tr := obs.New(0)
+	tr.Enable()
+	w := mpi.NewWorld(2)
+	clk := &fakeClock{step: 0.001}
+	stats, err := RunWithStats(w, Config{
+		Active:          1,
+		Decider:         brokenReportDecider{NewLocalDecider(core.Safe())},
+		Probe:           func(int) float64 { return 100 },
+		Clock:           clk.now,
+		HandlerInterval: time.Millisecond,
+		Tracer:          tr,
+	}, func(s *Session) error {
+		iter := 0
+		s.Register("iter", &iter)
+		for !s.Done() && iter < 5 {
+			if s.Active() {
+				time.Sleep(5 * time.Millisecond) // give handlers room to tick
+				iter++
+			}
+			if err := s.SwapPoint(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HandlerReportErrors == 0 {
+		t.Fatal("failing reporter left handler_report_errors at 0")
+	}
+	// Failed probes never enter the decision history, so their trace
+	// events must be tagged — a trace showing clean probes the decider
+	// never saw would lie about the measurement stream.
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.KindHandlerProbe && !strings.HasPrefix(ev.Detail, "report-failed") {
+			t.Fatalf("untagged HandlerProbe event despite failing reporter: %+v", ev)
+		}
+	}
+}
+
 func TestRemoteReportRoundTrip(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -205,6 +261,28 @@ func TestRemoteUnknownKindErrors(t *testing.T) {
 	d := RemoteDecider{Addr: ln.Addr().String()}
 	if _, err := d.roundTrip(wireRequest{Kind: "bogus"}); err == nil {
 		t.Fatal("unknown kind accepted")
+	}
+	// The error came from the manager over a working connection, so the
+	// liveness probe still treats the daemon as alive.
+	if !isWireError(func() error { _, err := d.roundTrip(wireRequest{Kind: "bogus"}); return err }()) {
+		t.Fatal("manager-reported error not marked as wire error")
+	}
+}
+
+func TestRemotePing(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ServeManager(ln, NewLocalDecider(core.Greedy()), nil) }()
+
+	d := RemoteDecider{Addr: ln.Addr().String(), Timeout: time.Second}
+	if err := d.Ping(); err != nil {
+		t.Fatalf("ping against live manager: %v", err)
+	}
+	ln.Close()
+	if err := d.Ping(); err == nil {
+		t.Fatal("ping against closed manager succeeded")
 	}
 }
 

@@ -141,36 +141,55 @@ func (d *LocalDecider) Decide(req DecideRequest) (DecideResponse, error) {
 }
 
 // manager coordinates one world's swapping: it parks spare ranks, routes
-// swap-in assignments to them, and funnels leader decisions through the
-// configured Decider.
+// swap-in assignments to them, funnels leader decisions through the
+// configured Decider, and quarantines spares whose swap-in failed.
 type manager struct {
 	cfg     Config
 	decider Decider
 
-	mu       sync.Mutex
-	assignCh map[int]chan assignment
-	done     chan struct{}
-	doneOnce sync.Once
+	mu          sync.Mutex
+	assignCh    map[int]chan assignment
+	quarantined map[int]bool
+	done        chan struct{}
+	doneOnce    sync.Once
 }
 
-// assignment tells a parked spare to become active.
+// assignment tells a parked spare to become active. The final active set
+// is not part of the assignment: under the two-phase protocol it is only
+// known once the transfer outcome is agreed, and arrives in the commit
+// message.
 type assignment struct {
 	epoch     uint64
-	activeSet []int
 	stateFrom int // world rank that will send the registered state
 }
 
 func newManager(size int, cfg Config, decider Decider) *manager {
 	m := &manager{
-		cfg:      cfg,
-		decider:  decider,
-		assignCh: map[int]chan assignment{},
-		done:     make(chan struct{}),
+		cfg:         cfg,
+		decider:     decider,
+		assignCh:    map[int]chan assignment{},
+		quarantined: map[int]bool{},
+		done:        make(chan struct{}),
 	}
 	for i := 0; i < size; i++ {
 		m.assignCh[i] = make(chan assignment, 4)
 	}
 	return m
+}
+
+// quarantine excludes a rank from future swap candidates; the leader
+// calls it after the rank failed to complete a swap-in.
+func (m *manager) quarantine(rank int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.quarantined[rank] = true
+}
+
+// isQuarantined reports whether rank has been quarantined.
+func (m *manager) isQuarantined(rank int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantined[rank]
 }
 
 // wait parks a spare until it is swapped in or the application finishes.
@@ -219,12 +238,13 @@ func (m *manager) decide(epoch uint64, now float64, activeSet []int, activeRates
 	for _, r := range activeSet {
 		isActive[r] = true
 	}
-	var spareSet []int
-	var spareRates []float64
+	// Candidate pool: every non-active rank that is not quarantined. A
+	// quarantined spare failed a swap-in; probing it again is pointless
+	// and offering it to the decider would just re-abort.
+	var pool []core.Candidate
 	for r := 0; r < allRanks; r++ {
-		if !isActive[r] {
-			spareSet = append(spareSet, r)
-			spareRates = append(spareRates, m.cfg.Probe(r))
+		if !isActive[r] && !m.isQuarantined(r) {
+			pool = append(pool, core.Candidate{ID: r, Rate: m.cfg.Probe(r)})
 		}
 	}
 
@@ -239,12 +259,12 @@ func (m *manager) decide(epoch uint64, now float64, activeSet []int, activeRates
 				continue
 			}
 			best, bestRate := -1, -1.0
-			for i, sp := range spareSet {
-				if usedSpare[sp] || m.cfg.Evicted(sp) {
+			for _, sp := range pool {
+				if usedSpare[sp.ID] || m.cfg.Evicted(sp.ID) {
 					continue
 				}
-				if spareRates[i] > bestRate {
-					best, bestRate = sp, spareRates[i]
+				if sp.Rate > bestRate {
+					best, bestRate = sp.ID, sp.Rate
 				}
 			}
 			if best < 0 {
@@ -256,7 +276,9 @@ func (m *manager) decide(epoch uint64, now float64, activeSet []int, activeRates
 		}
 	}
 
-	// The decider sees only the unforced remainder.
+	// The decider sees only the unforced remainder: drop spares already
+	// claimed by an eviction, and evicted hosts (no target for voluntary
+	// swaps either).
 	req := DecideRequest{
 		Epoch:    epoch,
 		Now:      now,
@@ -273,28 +295,27 @@ func (m *manager) decide(epoch uint64, now float64, activeSet []int, activeRates
 			req.ActiveRates = append(req.ActiveRates, activeRates[i])
 		}
 	}
-	for i, r := range spareSet {
-		if usedSpare[r] {
-			continue
+	for _, sp := range core.Filter(pool, func(c core.Candidate) bool {
+		if usedSpare[c.ID] {
+			return false
 		}
-		// An evicted host is no target for voluntary swaps either.
-		if m.cfg.Evicted != nil && m.cfg.Evicted(r) {
-			continue
-		}
-		req.SpareSet = append(req.SpareSet, r)
-		req.SpareRates = append(req.SpareRates, spareRates[i])
+		return m.cfg.Evicted == nil || !m.cfg.Evicted(c.ID)
+	}) {
+		req.SpareSet = append(req.SpareSet, sp.ID)
+		req.SpareRates = append(req.SpareRates, sp.Rate)
 	}
 	resp, err := m.decider.Decide(req)
 	if err != nil {
 		return DecideResponse{}, err
 	}
-	// Validate: Out must be active, In must be spare, no rank reused.
+	// Validate: Out must be active, In must be a non-quarantined spare,
+	// no rank reused.
 	used := map[int]bool{}
 	for _, f := range forced {
 		used[f.Out], used[f.In] = true, true
 	}
 	for _, s := range resp.Swaps {
-		if !isActive[s.Out] || isActive[s.In] || used[s.Out] || used[s.In] {
+		if !isActive[s.Out] || isActive[s.In] || used[s.Out] || used[s.In] || m.isQuarantined(s.In) {
 			return DecideResponse{}, fmt.Errorf("swaprt: invalid swap directive %+v", s)
 		}
 		used[s.Out], used[s.In] = true, true

@@ -2,15 +2,17 @@ package swaprt
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
 )
 
-// wireRequest is the swapmgr wire envelope: one request per connection,
-// either a decision query or an asynchronous handler report.
+// wireRequest is the swapmgr wire envelope: one request per connection —
+// a decision query, an asynchronous handler report, or a liveness ping
+// (used by ResilientDecider's recovery probe).
 type wireRequest struct {
-	Kind   string         `json:"kind"` // "decide" or "report"
+	Kind   string         `json:"kind"` // "decide", "report" or "ping"
 	Decide *DecideRequest `json:"decide,omitempty"`
 	Report *ReportMsg     `json:"report,omitempty"`
 }
@@ -50,9 +52,20 @@ func (d RemoteDecider) roundTrip(req wireRequest) (wireResponse, error) {
 		return wireResponse{}, fmt.Errorf("swaprt: read manager response: %w", err)
 	}
 	if resp.Error != "" {
-		return wireResponse{}, fmt.Errorf("swaprt: manager: %s", resp.Error)
+		return wireResponse{}, wireErr{resp.Error}
 	}
 	return resp, nil
+}
+
+// wireErr is an error the manager itself reported: the transport worked
+// and the daemon answered, it just declined the request.
+type wireErr struct{ msg string }
+
+func (e wireErr) Error() string { return "swaprt: manager: " + e.msg }
+
+func isWireError(err error) bool {
+	var we wireErr
+	return errors.As(err, &we)
 }
 
 // Decide implements Decider.
@@ -70,6 +83,18 @@ func (d RemoteDecider) Decide(req DecideRequest) (DecideResponse, error) {
 // Report implements Reporter.
 func (d RemoteDecider) Report(r ReportMsg) error {
 	_, err := d.roundTrip(wireRequest{Kind: "report", Report: &r})
+	return err
+}
+
+// Ping implements Pinger: one cheap liveness round trip, used by
+// ResilientDecider's background recovery probe. Old swapmgr daemons that
+// predate the "ping" kind answer with an error payload, which still
+// proves the manager is reachable and serving — so that counts as alive.
+func (d RemoteDecider) Ping() error {
+	_, err := d.roundTrip(wireRequest{Kind: "ping"})
+	if err != nil && isWireError(err) {
+		return nil
+	}
 	return err
 }
 
@@ -127,6 +152,8 @@ func serveConn(conn net.Conn, decider Decider, logf func(string, ...any)) {
 				resp.Error = err.Error()
 			}
 		}
+	case "ping":
+		// Liveness probe: an empty successful response is the answer.
 	default:
 		resp.Error = fmt.Sprintf("unknown request kind %q", req.Kind)
 	}

@@ -1,0 +1,392 @@
+package swaprt
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Pinger is the optional liveness capability a ResilientDecider uses to
+// probe its primary in the background while the circuit is open.
+// RemoteDecider implements it with a "ping" round trip to the swapmgr.
+type Pinger interface {
+	Ping() error
+}
+
+// StayDecider answers every decision with "no swaps". It is the static
+// degraded-mode fallback: swapping is an optimization, so when no better
+// decision service is available the correct conservative answer is to
+// keep the current placement.
+type StayDecider struct{}
+
+// Decide implements Decider.
+func (StayDecider) Decide(DecideRequest) (DecideResponse, error) {
+	return DecideResponse{}, nil
+}
+
+// GatedDecider routes Decide and Ping through Gate before touching the
+// inner decider, so a chaos plan (fault.Plan.ManagerCall) can take the
+// decision service down and bring it back on a deterministic call
+// counter. Reports pass straight through: the outage window is keyed on
+// decision/probe calls only, keeping replay independent of handler tick
+// timing.
+type GatedDecider struct {
+	Inner Decider
+	Gate  func() error
+}
+
+// Decide implements Decider.
+func (g GatedDecider) Decide(req DecideRequest) (DecideResponse, error) {
+	if err := g.Gate(); err != nil {
+		return DecideResponse{}, err
+	}
+	return g.Inner.Decide(req)
+}
+
+// Ping implements Pinger. A gate pass with a non-Pinger inner decider
+// counts as alive: the gate is the simulated outage.
+func (g GatedDecider) Ping() error {
+	if err := g.Gate(); err != nil {
+		return err
+	}
+	if p, ok := g.Inner.(Pinger); ok {
+		return p.Ping()
+	}
+	return nil
+}
+
+// Report implements Reporter, forwarding when the inner decider accepts
+// reports.
+func (g GatedDecider) Report(r ReportMsg) error {
+	if rep, ok := g.Inner.(Reporter); ok {
+		return rep.Report(r)
+	}
+	return nil
+}
+
+// circuitState is the breaker's position: closed (primary in use), open
+// (primary bypassed) or half-open (one trial call in flight).
+type circuitState int
+
+const (
+	circuitClosed circuitState = iota
+	circuitOpen
+	circuitHalfOpen
+)
+
+func (s circuitState) String() string {
+	return [...]string{"closed", "open", "half-open"}[s]
+}
+
+// ResilientDecider wraps a primary Decider (typically a RemoteDecider)
+// with bounded retry, exponential backoff with jitter, and a circuit
+// breaker that falls back to a local decider when the primary keeps
+// failing. Losing the decision service then degrades the run to local
+// (or "stay") decisions instead of aborting it.
+//
+// While the circuit is open, a background goroutine probes the primary
+// via Pinger (when implemented) every ProbeInterval and closes the
+// circuit on the first successful ping; without a Pinger the circuit
+// re-admits one trial Decide after OpenTimeout. Every transition emits a
+// Circuit trace event.
+//
+// The zero value of every tuning field selects a sensible default, so
+// ResilientDecider{Primary: d, Fallback: f} is ready to use. Safe for
+// use from one leader plus the background prober; Report may be called
+// concurrently by swap handlers.
+type ResilientDecider struct {
+	// Primary is the preferred decision service.
+	Primary Decider
+	// Fallback decides while the circuit is open (and when a closed-
+	// circuit call exhausts its retries). Nil selects StayDecider.
+	Fallback Decider
+
+	// MaxAttempts bounds the tries per Decide call against the primary
+	// (first call + retries). <= 0 selects 3.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry, doubling each
+	// further retry. <= 0 selects 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry sleep. <= 0 selects 500ms.
+	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic jitter stream (each backoff is
+	// scaled by a factor in [0.5, 1.5)). 0 selects seed 1.
+	JitterSeed int64
+
+	// FailThreshold is the number of consecutive failed Decide calls
+	// (each already retried MaxAttempts times) that opens the circuit.
+	// <= 0 selects 3.
+	FailThreshold int
+	// ProbeInterval is the background ping cadence while open, when
+	// Primary implements Pinger. <= 0 selects 250ms.
+	ProbeInterval time.Duration
+	// OpenTimeout is how long an open circuit waits before re-admitting
+	// one trial Decide, when Primary does not implement Pinger. <= 0
+	// selects 5s.
+	OpenTimeout time.Duration
+
+	// Tracer receives Circuit transition events (nil-safe).
+	Tracer *obs.Tracer
+	// Logf, if set, receives retry/fallback diagnostics.
+	Logf func(format string, args ...any)
+	// Metrics, if set, counts retries, fallback decisions and circuit
+	// transitions under "resilient.*".
+	Metrics *obs.Registry
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    circuitState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	stopCh   chan struct{}
+	closed   bool
+}
+
+func (d *ResilientDecider) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+func (d *ResilientDecider) count(name string) {
+	if d.Metrics != nil {
+		d.Metrics.Counter("resilient." + name).Inc()
+	}
+}
+
+func (d *ResilientDecider) maxAttempts() int {
+	if d.MaxAttempts > 0 {
+		return d.MaxAttempts
+	}
+	return 3
+}
+
+func (d *ResilientDecider) failThreshold() int {
+	if d.FailThreshold > 0 {
+		return d.FailThreshold
+	}
+	return 3
+}
+
+func (d *ResilientDecider) probeInterval() time.Duration {
+	if d.ProbeInterval > 0 {
+		return d.ProbeInterval
+	}
+	return 250 * time.Millisecond
+}
+
+func (d *ResilientDecider) openTimeout() time.Duration {
+	if d.OpenTimeout > 0 {
+		return d.OpenTimeout
+	}
+	return 5 * time.Second
+}
+
+func (d *ResilientDecider) fallback() Decider {
+	if d.Fallback != nil {
+		return d.Fallback
+	}
+	return StayDecider{}
+}
+
+// backoff computes the jittered sleep before retry attempt i (1-based).
+func (d *ResilientDecider) backoff(i int) time.Duration {
+	base := d.BaseBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxB := d.MaxBackoff
+	if maxB <= 0 {
+		maxB = 500 * time.Millisecond
+	}
+	b := base << (i - 1)
+	if b > maxB || b <= 0 {
+		b = maxB
+	}
+	d.mu.Lock()
+	if d.rng == nil {
+		seed := d.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		d.rng = rand.New(rand.NewSource(seed))
+	}
+	jitter := 0.5 + d.rng.Float64()
+	d.mu.Unlock()
+	return time.Duration(float64(b) * jitter)
+}
+
+// Decide implements Decider: try the primary (with retries) while the
+// circuit admits it, otherwise decide locally via the fallback.
+func (d *ResilientDecider) Decide(req DecideRequest) (DecideResponse, error) {
+	if d.admitPrimary() {
+		resp, err := d.tryPrimary(req)
+		if err == nil {
+			d.onSuccess()
+			return resp, nil
+		}
+		d.onFailure(err)
+		d.logf("swaprt: resilient: primary decide failed (%v); deciding locally", err)
+	}
+	d.count("fallbacks")
+	return d.fallback().Decide(req)
+}
+
+// admitPrimary reports whether this call may try the primary, moving an
+// expired open circuit to half-open (the trial) when there is no Pinger.
+func (d *ResilientDecider) admitPrimary() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.state {
+	case circuitClosed:
+		return true
+	case circuitOpen:
+		if _, ok := d.Primary.(Pinger); ok {
+			// The background prober owns recovery.
+			return false
+		}
+		if time.Since(d.openedAt) >= d.openTimeout() {
+			d.state = circuitHalfOpen
+			d.emit("half-open", "open timeout elapsed; admitting one trial")
+			return true
+		}
+		return false
+	default: // circuitHalfOpen: a trial is already in flight
+		return false
+	}
+}
+
+// tryPrimary runs the bounded retry loop against the primary.
+func (d *ResilientDecider) tryPrimary(req DecideRequest) (DecideResponse, error) {
+	var lastErr error
+	for i := 0; i < d.maxAttempts(); i++ {
+		if i > 0 {
+			d.count("retries")
+			time.Sleep(d.backoff(i))
+		}
+		resp, err := d.Primary.Decide(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		d.logf("swaprt: resilient: primary attempt %d/%d: %v", i+1, d.maxAttempts(), err)
+	}
+	return DecideResponse{}, lastErr
+}
+
+func (d *ResilientDecider) onSuccess() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fails = 0
+	if d.state != circuitClosed {
+		d.state = circuitClosed
+		d.emit("close", "primary recovered")
+	}
+}
+
+func (d *ResilientDecider) onFailure(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.state {
+	case circuitHalfOpen:
+		d.state = circuitOpen
+		d.openedAt = time.Now()
+		d.emit("open", "half-open trial failed: "+err.Error())
+	case circuitClosed:
+		d.fails++
+		if d.fails < d.failThreshold() {
+			return
+		}
+		d.state = circuitOpen
+		d.openedAt = time.Now()
+		d.emit("open", err.Error())
+		if _, ok := d.Primary.(Pinger); ok && !d.probing && !d.closed {
+			d.probing = true
+			if d.stopCh == nil {
+				d.stopCh = make(chan struct{})
+			}
+			go d.probeLoop(d.stopCh)
+		}
+	}
+}
+
+// emit records a Circuit transition. Caller holds d.mu.
+func (d *ResilientDecider) emit(transition, reason string) {
+	d.count("circuit_" + transition)
+	d.Tracer.EmitNow(obs.Event{Kind: obs.KindCircuit, Rank: obs.RankRuntime,
+		Detail: transition, Reason: reason})
+	d.logf("swaprt: resilient: circuit %s (%s)", transition, reason)
+}
+
+// probeLoop pings the primary until it answers or the decider is closed.
+func (d *ResilientDecider) probeLoop(stop <-chan struct{}) {
+	p := d.Primary.(Pinger)
+	t := time.NewTicker(d.probeInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			err := p.Ping()
+			d.mu.Lock()
+			if err == nil {
+				d.fails = 0
+				d.probing = false
+				if d.state != circuitClosed {
+					d.state = circuitClosed
+					d.emit("close", "probe succeeded")
+				}
+				d.mu.Unlock()
+				return
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Report implements Reporter: measurements go to the primary while the
+// circuit is closed (errors are logged, never circuit-tripping — reports
+// are advisory), and always to the fallback when it keeps history, so
+// degraded-mode decisions see warm measurements.
+func (d *ResilientDecider) Report(r ReportMsg) error {
+	d.mu.Lock()
+	primaryUp := d.state == circuitClosed
+	d.mu.Unlock()
+	if primaryUp {
+		if rep, ok := d.Primary.(Reporter); ok {
+			if err := rep.Report(r); err != nil {
+				d.count("report_errors")
+				d.logf("swaprt: resilient: primary report: %v", err)
+			}
+		}
+	}
+	if rep, ok := d.fallback().(Reporter); ok {
+		return rep.Report(r)
+	}
+	return nil
+}
+
+// State reports the circuit position as "closed", "open" or "half-open".
+func (d *ResilientDecider) State() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state.String()
+}
+
+// Close stops the background prober, if any. The decider remains usable
+// (it just no longer recovers automatically).
+func (d *ResilientDecider) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	if d.stopCh != nil {
+		close(d.stopCh)
+	}
+}

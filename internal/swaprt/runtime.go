@@ -2,6 +2,7 @@ package swaprt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -12,10 +13,20 @@ import (
 	"repro/internal/obs"
 )
 
-// tagState is the reserved user tag for state transfers on the world
-// communicator. Applications using swaprt must keep this tag free on the
+// Reserved user tags on the world communicator for the two-phase swap
+// protocol. Applications using swaprt must keep these tags free on the
 // world communicator (they normally communicate on s.Comm() anyway).
-const tagState = 0x5a17
+const (
+	// tagState carries the registered state from the outgoing rank to the
+	// incoming spare (payload: 8-byte proposed epoch, then the gob blob).
+	tagState = 0x5a17
+	// tagStateAck is the spare's receipt acknowledgment back to the
+	// outgoing rank (payload: the 8-byte epoch it received).
+	tagStateAck = 0x5a18
+	// tagStateCommit carries the agreed outcome from the outgoing rank to
+	// the spare: commit (with the final active set) or abort.
+	tagStateCommit = 0x5a19
+)
 
 // Config configures the swapping runtime for one application run.
 type Config struct {
@@ -50,6 +61,17 @@ type Config struct {
 	// decisions see load changes that happen between swap points. The
 	// decider must implement Reporter for the reports to land.
 	HandlerInterval time.Duration
+	// TransferTimeout bounds each leg of the out→in state transfer (the
+	// spare's wait for the state, and the outgoing rank's wait for the
+	// acknowledgment). When it expires the swap is aborted — the old
+	// epoch stays committed and the run continues — instead of hanging
+	// the application on a dead spare. <= 0 selects 3s.
+	TransferTimeout time.Duration
+	// CommitTimeout bounds the swapped-in spare's wait for the commit or
+	// abort message after it acknowledged the state. <= 0 selects
+	// 4×TransferTimeout (the outgoing rank may finish other transfers and
+	// the outcome allgather before it can send the commit).
+	CommitTimeout time.Duration
 	// Evicted reports that the given rank's host has been reclaimed by
 	// its owner (the Condor-style eviction the paper proposes combining
 	// with swapping): at the next swap point the process is force-moved
@@ -86,6 +108,12 @@ func (c Config) fill() Config {
 	if c.Policy == (core.Policy{}) {
 		c.Policy = core.Greedy()
 	}
+	if c.TransferTimeout <= 0 {
+		c.TransferTimeout = 3 * time.Second
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 4 * c.TransferTimeout
+	}
 	return c
 }
 
@@ -93,8 +121,13 @@ func (c Config) fill() Config {
 // state-transfer volume, and the per-rank MPI transport counters.
 type RunStats struct {
 	SwapPoints int // swap-point entries by active ranks
-	Swaps      int // swap directives executed (out/in pairs)
+	Swaps      int // swap directives committed (out/in pairs)
 	Decisions  int // leader decisions taken
+
+	SwapAborts  int // proposed swaps aborted by the two-phase protocol
+	Quarantined int // spares quarantined after a failed swap-in
+
+	HandlerReportErrors int // swap-handler reports the decider rejected
 
 	DecideTime    time.Duration // total wall time inside Decider.Decide
 	StateBytes    int64         // registered-state bytes shipped between ranks
@@ -107,8 +140,9 @@ type RunStats struct {
 // String renders a one-paragraph summary followed by the MPI table.
 func (rs RunStats) String() string {
 	return fmt.Sprintf(
-		"swap points %d, swaps %d, decisions %d (%s total), state %dB shipped (send %s, recv %s)\n%s",
-		rs.SwapPoints, rs.Swaps, rs.Decisions, rs.DecideTime.Round(time.Microsecond),
+		"swap points %d, swaps %d (%d aborted, %d quarantined), decisions %d (%s total), state %dB shipped (send %s, recv %s)\n%s",
+		rs.SwapPoints, rs.Swaps, rs.SwapAborts, rs.Quarantined,
+		rs.Decisions, rs.DecideTime.Round(time.Microsecond),
 		rs.StateBytes, rs.StateSendTime.Round(time.Microsecond),
 		rs.StateRecvTime.Round(time.Microsecond), rs.MPI)
 }
@@ -117,37 +151,46 @@ func (rs RunStats) String() string {
 // ("swaprt.*"); RunStats is snapshotted from them, so the same numbers
 // are live on expvar during the run and in the returned stats after it.
 type runCounters struct {
-	swapPoints  *obs.Counter
-	swaps       *obs.Counter
-	decisions   *obs.Counter
-	decideNS    *obs.Counter
-	stateBytes  *obs.Counter
-	stateSendNS *obs.Counter
-	stateRecvNS *obs.Counter
+	swapPoints          *obs.Counter
+	swaps               *obs.Counter
+	decisions           *obs.Counter
+	swapAborts          *obs.Counter
+	quarantined         *obs.Counter
+	handlerReportErrors *obs.Counter
+	decideNS            *obs.Counter
+	stateBytes          *obs.Counter
+	stateSendNS         *obs.Counter
+	stateRecvNS         *obs.Counter
 }
 
 func newRunCounters(reg *obs.Registry) *runCounters {
 	return &runCounters{
-		swapPoints:  reg.Counter("swaprt.swap_points"),
-		swaps:       reg.Counter("swaprt.swaps"),
-		decisions:   reg.Counter("swaprt.decisions"),
-		decideNS:    reg.Counter("swaprt.decide_ns"),
-		stateBytes:  reg.Counter("swaprt.state_bytes"),
-		stateSendNS: reg.Counter("swaprt.state_send_ns"),
-		stateRecvNS: reg.Counter("swaprt.state_recv_ns"),
+		swapPoints:          reg.Counter("swaprt.swap_points"),
+		swaps:               reg.Counter("swaprt.swaps"),
+		decisions:           reg.Counter("swaprt.decisions"),
+		swapAborts:          reg.Counter("swaprt.swap_aborts"),
+		quarantined:         reg.Counter("swaprt.quarantined"),
+		handlerReportErrors: reg.Counter("swaprt.handler_report_errors"),
+		decideNS:            reg.Counter("swaprt.decide_ns"),
+		stateBytes:          reg.Counter("swaprt.state_bytes"),
+		stateSendNS:         reg.Counter("swaprt.state_send_ns"),
+		stateRecvNS:         reg.Counter("swaprt.state_recv_ns"),
 	}
 }
 
 // snapshot builds the typed RunStats view over the counters.
 func (rc *runCounters) snapshot() RunStats {
 	return RunStats{
-		SwapPoints:    int(rc.swapPoints.Load()),
-		Swaps:         int(rc.swaps.Load()),
-		Decisions:     int(rc.decisions.Load()),
-		DecideTime:    time.Duration(rc.decideNS.Load()),
-		StateBytes:    int64(rc.stateBytes.Load()),
-		StateSendTime: time.Duration(rc.stateSendNS.Load()),
-		StateRecvTime: time.Duration(rc.stateRecvNS.Load()),
+		SwapPoints:          int(rc.swapPoints.Load()),
+		Swaps:               int(rc.swaps.Load()),
+		Decisions:           int(rc.decisions.Load()),
+		SwapAborts:          int(rc.swapAborts.Load()),
+		Quarantined:         int(rc.quarantined.Load()),
+		HandlerReportErrors: int(rc.handlerReportErrors.Load()),
+		DecideTime:          time.Duration(rc.decideNS.Load()),
+		StateBytes:          int64(rc.stateBytes.Load()),
+		StateSendTime:       time.Duration(rc.stateSendNS.Load()),
+		StateRecvTime:       time.Duration(rc.stateRecvNS.Load()),
 	}
 }
 
@@ -172,9 +215,13 @@ type Session struct {
 	// Swap-cost prediction cache: sizeEst is the last known encoded state
 	// size (<0 = unknown, invalidated by Register); encCache holds the
 	// encoding produced during the current swap point so a rank that both
-	// estimates and ships its state encodes it only once.
-	sizeEst  float64
-	encCache []byte
+	// estimates and ships its state encodes it only once. sizeEstLast is
+	// the last successfully computed size, surviving Register
+	// invalidation, so an encode failure can fall back to it rather than
+	// reporting zero state.
+	sizeEst     float64
+	sizeEstLast float64
+	encCache    []byte
 }
 
 // Rank reports the world rank.
@@ -248,6 +295,8 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 		world.SetTracer(cfg.Tracer)
 	}
 
+	rc := newRunCounters(world.Metrics())
+
 	// Swap handlers: periodic out-of-band probing, one per rank. If the
 	// decider cannot accept reports, skip the handler machinery entirely —
 	// no stop channel, no goroutines — and say so once.
@@ -259,7 +308,7 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 			stop := make(chan struct{})
 			defer close(stop)
 			for rank := 0; rank < world.Size(); rank++ {
-				go handlerLoop(rank, cfg, rep, stop)
+				go handlerLoop(rank, cfg, rep, rc, stop)
 			}
 		}
 	}
@@ -268,19 +317,18 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 	for i := range initial {
 		initial[i] = i
 	}
-
-	rc := newRunCounters(world.Metrics())
 	err := world.Run(func(r *mpi.Rank) error {
 		s := &Session{
-			r:         r,
-			cfg:       cfg,
-			mgr:       mgr,
-			stats:     rc,
-			tr:        cfg.Tracer,
-			state:     newStateSet(),
-			activeSet: append([]int(nil), initial...),
-			iterStart: cfg.Clock(),
-			sizeEst:   -1,
+			r:           r,
+			cfg:         cfg,
+			mgr:         mgr,
+			stats:       rc,
+			tr:          cfg.Tracer,
+			state:       newStateSet(),
+			activeSet:   append([]int(nil), initial...),
+			iterStart:   cfg.Clock(),
+			sizeEst:     -1,
+			sizeEstLast: -1,
 		}
 		for _, m := range initial {
 			if m == r.Rank() {
@@ -326,50 +374,159 @@ func (s *Session) SwapPoint() error {
 }
 
 func (s *Session) swapPointSpare() error {
-	a, ok := s.mgr.wait(s.r.Rank())
-	if !ok {
-		s.done = true
-		return nil
+	for {
+		a, ok := s.mgr.wait(s.r.Rank())
+		if !ok {
+			s.done = true
+			return nil
+		}
+		swappedIn, err := s.spareSwapIn(a)
+		if err != nil {
+			return err
+		}
+		if swappedIn {
+			return nil
+		}
+		// The proposed swap aborted: park again and wait for the next
+		// assignment (or the end of the run).
 	}
-	// Swapped in: receive the registered state from the outgoing rank on
-	// the world communicator.
+}
+
+// spareSwapIn executes the spare side of one proposed swap: receive the
+// state within the transfer deadline, acknowledge it, then wait for the
+// commit/abort outcome. It reports whether the swap committed; a timeout
+// or explicit abort returns (false, nil) so the spare parks again.
+func (s *Session) spareSwapIn(a assignment) (bool, error) {
 	world := s.r.World()
 	var t0 float64
 	if s.tr.Enabled() {
 		t0 = s.tr.Now()
 	}
 	start := time.Now()
-	data, _, err := world.Recv(a.stateFrom, tagState)
-	if err != nil {
-		return fmt.Errorf("swaprt: rank %d state recv: %w", s.r.Rank(), err)
+
+	// Receive the proposed-epoch-prefixed state, skipping stale payloads
+	// left over from earlier aborted proposals by the same sender.
+	deadline := time.Now().Add(s.cfg.TransferTimeout)
+	var blob []byte
+	recvOK := false
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		data, _, err := world.RecvTimeout(a.stateFrom, tagState, remaining)
+		if err == mpi.ErrRecvTimeout {
+			break
+		}
+		if err != nil {
+			return false, fmt.Errorf("swaprt: rank %d state recv: %w", s.r.Rank(), err)
+		}
+		if len(data) < 8 {
+			continue
+		}
+		if epoch := binary.BigEndian.Uint64(data[:8]); epoch != a.epoch {
+			s.cfg.Logf("rank %d discarding stale state payload (epoch %d, expected %d)",
+				s.r.Rank(), epoch, a.epoch)
+			continue
+		}
+		blob = data[8:]
+		recvOK = true
+		break
 	}
-	if err := s.state.decode(data); err != nil {
-		return err
+	if !recvOK {
+		s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
+			Peer: a.stateFrom, Detail: "state transfer timed out"})
+		s.cfg.Logf("rank %d swap-in aborted: no state from rank %d within %s",
+			s.r.Rank(), a.stateFrom, s.cfg.TransferTimeout)
+		return false, nil
 	}
-	recvDur := time.Since(start)
-	s.stats.stateRecvNS.Add(uint64(recvDur))
-	if s.tr.Enabled() {
-		s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
-			Dur: s.tr.Now() - t0, Peer: a.stateFrom, Bytes: int64(len(data)), Detail: "in"})
+	if err := s.state.decode(blob); err != nil {
+		// A corrupt payload is treated like a failed transfer: do not
+		// acknowledge, so the outgoing rank times out and aborts the swap.
+		s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
+			Peer: a.stateFrom, Detail: "state decode failed: " + err.Error()})
+		s.cfg.Logf("rank %d swap-in aborted: state decode: %v", s.r.Rank(), err)
+		return false, nil
 	}
-	s.epoch = a.epoch
-	s.activeSet = append([]int(nil), a.activeSet...)
-	s.comm = s.r.CommOf(s.activeSet, s.epoch)
-	s.active = true
-	s.swaps++
-	s.iterStart = s.cfg.Clock()
-	s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
-	s.cfg.Logf("rank %d swapped in (epoch %d, state %dB in %s, from rank %d)",
-		s.r.Rank(), s.epoch, len(data), recvDur.Round(time.Microsecond), a.stateFrom)
-	return nil
+	// Acknowledge receipt (echoing the epoch) and wait for the outcome.
+	var ack [8]byte
+	binary.BigEndian.PutUint64(ack[:], a.epoch)
+	if err := world.Send(a.stateFrom, tagStateAck, ack[:]); err != nil {
+		s.cfg.Logf("rank %d state ack send: %v", s.r.Rank(), err)
+	}
+	commitDeadline := time.Now().Add(s.cfg.CommitTimeout)
+	for {
+		remaining := time.Until(commitDeadline)
+		if remaining <= 0 {
+			s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
+				Peer: a.stateFrom, Detail: "commit timed out"})
+			s.cfg.Logf("rank %d swap-in aborted: no commit from rank %d within %s",
+				s.r.Rank(), a.stateFrom, s.cfg.CommitTimeout)
+			return false, nil
+		}
+		data, _, err := world.RecvTimeout(a.stateFrom, tagStateCommit, remaining)
+		if err == mpi.ErrRecvTimeout {
+			continue
+		}
+		if err != nil {
+			return false, fmt.Errorf("swaprt: rank %d commit recv: %w", s.r.Rank(), err)
+		}
+		msg, err := decodeCommit(data)
+		if err != nil {
+			return false, err
+		}
+		if msg.Epoch != a.epoch {
+			s.cfg.Logf("rank %d discarding stale commit (epoch %d, expected %d)",
+				s.r.Rank(), msg.Epoch, a.epoch)
+			continue
+		}
+		if !msg.Commit {
+			s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
+				Peer: a.stateFrom, Detail: "leader aborted"})
+			s.cfg.Logf("rank %d swap-in aborted by leader (epoch %d)", s.r.Rank(), a.epoch)
+			return false, nil
+		}
+		recvDur := time.Since(start)
+		s.stats.stateRecvNS.Add(uint64(recvDur))
+		if s.tr.Enabled() {
+			s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
+				Dur: s.tr.Now() - t0, Peer: a.stateFrom, Bytes: int64(len(blob)), Detail: "in"})
+		}
+		s.epoch = a.epoch
+		s.activeSet = append([]int(nil), msg.NewSet...)
+		s.comm = s.r.CommOf(s.activeSet, s.epoch)
+		s.active = true
+		s.swaps++
+		s.iterStart = s.cfg.Clock()
+		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
+		s.cfg.Logf("rank %d swapped in (epoch %d, state %dB in %s, from rank %d)",
+			s.r.Rank(), s.epoch, len(blob), recvDur.Round(time.Microsecond), a.stateFrom)
+		return true, nil
+	}
 }
 
-// planMsg is the decision broadcast from the active leader.
+// planMsg is the *proposed* plan broadcast from the active leader: the
+// directives and the epoch they would establish. The final active set is
+// not part of the proposal — it is derived from the per-swap outcomes
+// after the transfers run.
 type planMsg struct {
 	Swaps    []SwapDirective
-	NewSet   []int
 	NewEpoch uint64
 }
+
+// commitMsg is the outgoing rank's outcome notification to its spare.
+type commitMsg struct {
+	Epoch  uint64
+	Commit bool
+	NewSet []int // final active set; only meaningful when Commit
+}
+
+// Per-swap outcome values allgathered after the transfer phase.
+const (
+	outcomeNone = 0 // this rank was not the swap's outgoing side
+	outcomeOK   = 1 // transfer completed and was acknowledged
+	outcomeFail = 2 // transfer failed or timed out
+)
 
 func (s *Session) swapPointActive() error {
 	now := s.cfg.Clock()
@@ -402,7 +559,6 @@ func (s *Session) swapPointActive() error {
 		}
 		s.stats.decisions.Inc()
 		s.stats.decideNS.Add(uint64(decideDur))
-		s.stats.swaps.Add(uint64(len(resp.Swaps)))
 		if s.tr.Enabled() {
 			ev := obs.Event{Kind: obs.KindSwapDecision, Rank: s.r.Rank(), T: t0,
 				Dur: s.tr.Now() - t0, IterTime: iterTime, SwapTime: swapTime,
@@ -422,14 +578,6 @@ func (s *Session) swapPointActive() error {
 			s.r.Rank(), len(resp.Swaps), decideDur.Round(time.Microsecond), s.epoch)
 		plan.Swaps = resp.Swaps
 		if len(resp.Swaps) > 0 {
-			plan.NewSet = append([]int(nil), s.activeSet...)
-			for _, sw := range resp.Swaps {
-				for i, m := range plan.NewSet {
-					if m == sw.Out {
-						plan.NewSet[i] = sw.In
-					}
-				}
-			}
 			plan.NewEpoch = s.epoch + 1
 		}
 	}
@@ -449,15 +597,14 @@ func (s *Session) swapPointActive() error {
 		return nil
 	}
 
-	// Leader wakes the incoming spares. A full assignment channel means
-	// the runtime's bookkeeping is violated (e.g. a pathological remote
-	// decider reassigning a parked spare); fail the run loudly rather
-	// than deadlocking the leader.
+	// Phase 1a — leader wakes the incoming spares with the *proposed*
+	// epoch. A full assignment channel means the runtime's bookkeeping is
+	// violated (e.g. a pathological remote decider reassigning a parked
+	// spare); fail the run loudly rather than deadlocking the leader.
 	if s.comm.Rank() == 0 {
 		for _, sw := range plan.Swaps {
 			if err := s.mgr.assign(sw.In, assignment{
 				epoch:     plan.NewEpoch,
-				activeSet: plan.NewSet,
 				stateFrom: sw.Out,
 			}); err != nil {
 				s.cfg.Logf("%v", err)
@@ -468,33 +615,108 @@ func (s *Session) swapPointActive() error {
 		}
 	}
 
-	// Am I swapped out?
-	for _, sw := range plan.Swaps {
-		if sw.Out == s.r.Rank() {
-			var t0 float64
-			if s.tr.Enabled() {
-				t0 = s.tr.Now()
-			}
-			start := time.Now()
-			data := s.encCache // reuse the leader's size-estimate encoding
-			if data == nil {
-				if data, err = s.state.encode(); err != nil {
-					return err
+	// Phase 1b — transfers: each outgoing rank ships its state under the
+	// transfer deadline. A failed or unacknowledged transfer marks the
+	// swap failed instead of failing the run.
+	outcome := make([]byte, len(plan.Swaps))
+	for i, sw := range plan.Swaps {
+		if sw.Out != s.r.Rank() {
+			continue
+		}
+		if err := s.transferOut(sw, plan.NewEpoch); err != nil {
+			outcome[i] = outcomeFail
+			s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
+				Peer: sw.In, Detail: err.Error()})
+			s.cfg.Logf("rank %d swap to rank %d aborted: %v", s.r.Rank(), sw.In, err)
+		} else {
+			outcome[i] = outcomeOK
+		}
+	}
+
+	// Phase 2a — outcome consensus on the old communicator (outgoing
+	// members are still members): gather the per-swap outcomes at the
+	// leader, combine, and broadcast the agreed verdict vector.
+	parts, err := s.comm.Gather(0, outcome)
+	if err != nil {
+		return err
+	}
+	combined := outcome
+	if s.comm.Rank() == 0 {
+		combined = make([]byte, len(plan.Swaps))
+		for _, p := range parts {
+			for i := range combined {
+				if i < len(p) && p[i] != outcomeNone {
+					combined[i] = p[i]
 				}
-				s.sizeEst = float64(len(data))
 			}
-			if err := s.r.World().Send(sw.In, tagState, data); err != nil {
-				return fmt.Errorf("swaprt: rank %d state send: %w", s.r.Rank(), err)
+		}
+	}
+	if combined, err = s.comm.Bcast(0, combined); err != nil {
+		return err
+	}
+
+	committed := make([]bool, len(plan.Swaps))
+	anyCommitted := false
+	newSet := append([]int(nil), s.activeSet...)
+	for i, sw := range plan.Swaps {
+		if i < len(combined) && combined[i] == outcomeOK {
+			committed[i] = true
+			anyCommitted = true
+			for j, m := range newSet {
+				if m == sw.Out {
+					newSet[j] = sw.In
+				}
 			}
-			sendDur := time.Since(start)
-			s.stats.stateBytes.Add(uint64(len(data)))
-			s.stats.stateSendNS.Add(uint64(sendDur))
-			if s.tr.Enabled() {
-				s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
-					Dur: s.tr.Now() - t0, Peer: sw.In, Bytes: int64(len(data)), Detail: "out"})
+		}
+	}
+	newEpoch := s.epoch
+	if anyCommitted {
+		newEpoch = plan.NewEpoch
+	}
+
+	// Leader bookkeeping: count committed swaps, quarantine the spare of
+	// every aborted one (it was proposed, assigned and failed to complete
+	// the transfer — offering it again would just re-abort).
+	if s.comm.Rank() == 0 {
+		for i, sw := range plan.Swaps {
+			if committed[i] {
+				s.stats.swaps.Inc()
+				continue
 			}
-			s.cfg.Logf("rank %d swapped out (epoch %d, state %dB in %s, to rank %d)",
-				s.r.Rank(), plan.NewEpoch, len(data), sendDur.Round(time.Microsecond), sw.In)
+			s.stats.swapAborts.Inc()
+			s.stats.quarantined.Inc()
+			s.mgr.quarantine(sw.In)
+			s.tr.EmitNow(obs.Event{Kind: obs.KindQuarantine, Rank: s.r.Rank(), Peer: sw.In,
+				Detail: fmt.Sprintf("swap %d->%d aborted", sw.Out, sw.In)})
+			s.cfg.Logf("rank %d quarantined after failed swap-in (rank %d keeps running)",
+				sw.In, sw.Out)
+		}
+	}
+
+	// Phase 2b — outcome notification: each outgoing rank tells its spare
+	// to commit (with the final set) or abort. The send is best-effort: a
+	// lost abort is recovered by the spare's commit timeout; a lost
+	// *commit* is the protocol's two-generals residue (see DESIGN §13) —
+	// the spare was provably alive moments ago (it acknowledged the
+	// state), so only a failure in exactly this window strands the run.
+	for i, sw := range plan.Swaps {
+		if sw.Out != s.r.Rank() {
+			continue
+		}
+		data, err := encodeCommit(commitMsg{
+			Epoch:  plan.NewEpoch,
+			Commit: committed[i],
+			NewSet: newSet,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.r.World().Send(sw.In, tagStateCommit, data); err != nil {
+			s.cfg.Logf("rank %d commit send to rank %d: %v", s.r.Rank(), sw.In, err)
+		}
+		if committed[i] {
+			s.cfg.Logf("rank %d swapped out (epoch %d, to rank %d)",
+				s.r.Rank(), newEpoch, sw.In)
 			s.active = false
 			s.comm = nil
 			s.swaps++
@@ -502,18 +724,84 @@ func (s *Session) swapPointActive() error {
 		}
 	}
 
-	// Continuing active member: adopt the new set and communicator.
-	s.activeSet = append([]int(nil), plan.NewSet...)
-	s.epoch = plan.NewEpoch
+	if !anyCommitted {
+		// Every proposed swap aborted: the old set, epoch and communicator
+		// stay in force; just start the next iteration.
+		s.iterStart = s.cfg.Clock()
+		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
+		return nil
+	}
+
+	// Continuing active member: adopt the agreed set and communicator.
+	s.activeSet = newSet
+	s.epoch = newEpoch
 	s.comm = s.r.CommOf(s.activeSet, s.epoch)
 	s.iterStart = s.cfg.Clock()
 	s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
 	return nil
 }
 
+// transferOut ships the registered state to the proposed spare and waits
+// for its acknowledgment within the transfer deadline. The returned
+// error describes why the swap must abort; it never fails the run.
+func (s *Session) transferOut(sw SwapDirective, newEpoch uint64) error {
+	var t0 float64
+	if s.tr.Enabled() {
+		t0 = s.tr.Now()
+	}
+	start := time.Now()
+	data := s.encCache // reuse the leader's size-estimate encoding
+	if data == nil {
+		var err error
+		if data, err = s.state.encode(); err != nil {
+			return fmt.Errorf("state encode: %w", err)
+		}
+		s.sizeEst = float64(len(data))
+		s.sizeEstLast = s.sizeEst
+	}
+	payload := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(payload[:8], newEpoch)
+	copy(payload[8:], data)
+	world := s.r.World()
+	if err := world.Send(sw.In, tagState, payload); err != nil {
+		return fmt.Errorf("state send: %w", err)
+	}
+	deadline := time.Now().Add(s.cfg.TransferTimeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("no ack from rank %d within %s", sw.In, s.cfg.TransferTimeout)
+		}
+		ack, _, err := world.RecvTimeout(sw.In, tagStateAck, remaining)
+		if err == mpi.ErrRecvTimeout {
+			return fmt.Errorf("no ack from rank %d within %s", sw.In, s.cfg.TransferTimeout)
+		}
+		if err != nil {
+			return fmt.Errorf("ack recv: %w", err)
+		}
+		if len(ack) != 8 || binary.BigEndian.Uint64(ack) != newEpoch {
+			continue // stale ack from an earlier aborted proposal
+		}
+		break
+	}
+	sendDur := time.Since(start)
+	s.stats.stateBytes.Add(uint64(len(data)))
+	s.stats.stateSendNS.Add(uint64(sendDur))
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
+			Dur: s.tr.Now() - t0, Peer: sw.In, Bytes: int64(len(data)), Detail: "out"})
+	}
+	s.cfg.Logf("rank %d state shipped (proposed epoch %d, %dB in %s, to rank %d)",
+		s.r.Rank(), newEpoch, len(data), sendDur.Round(time.Microsecond), sw.In)
+	return nil
+}
+
 // handlerLoop is one rank's swap handler: probe every interval, push to
-// the decider's history, stop when the run ends.
-func handlerLoop(rank int, cfg Config, rep Reporter, stop <-chan struct{}) {
+// the decider's history, stop when the run ends. The HandlerProbe trace
+// event is emitted only for measurements the decider actually accepted —
+// a trace must not show probes the decision history never saw; failed
+// reports are counted and tagged instead.
+func handlerLoop(rank int, cfg Config, rep Reporter, rc *runCounters, stop <-chan struct{}) {
 	t := time.NewTicker(cfg.HandlerInterval)
 	defer t.Stop()
 	for {
@@ -522,10 +810,14 @@ func handlerLoop(rank int, cfg Config, rep Reporter, stop <-chan struct{}) {
 			return
 		case <-t.C:
 			msg := ReportMsg{Rank: rank, Now: cfg.Clock(), Rate: cfg.Probe(rank)}
-			cfg.Tracer.EmitNow(obs.Event{Kind: obs.KindHandlerProbe, Rank: rank, Value: msg.Rate})
 			if err := rep.Report(msg); err != nil {
+				rc.handlerReportErrors.Inc()
+				cfg.Tracer.EmitNow(obs.Event{Kind: obs.KindHandlerProbe, Rank: rank,
+					Value: msg.Rate, Detail: "report-failed: " + err.Error()})
 				cfg.Logf("swaprt: handler %d report: %v", rank, err)
+				continue
 			}
+			cfg.Tracer.EmitNow(obs.Event{Kind: obs.KindHandlerProbe, Rank: rank, Value: msg.Rate})
 		}
 	}
 }
@@ -566,10 +858,27 @@ func (s *Session) stateSizeEstimate() float64 {
 	}
 	data, err := s.state.encode()
 	if err != nil {
+		// An unencodable registered type must not silently zero the swap
+		// cost — that would make every swap look free and corrupt the
+		// payback prediction. Log it, trace it, and fall back to the last
+		// successfully computed size (0 only if there never was one).
+		rank := obs.RankRuntime
+		if s.r != nil {
+			rank = s.r.Rank()
+		}
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("swaprt: rank %d state size estimate: %v", rank, err)
+		}
+		s.tr.EmitNow(obs.Event{Kind: obs.KindRuntimeError, Rank: rank,
+			Detail: "state size estimate: " + err.Error()})
+		if s.sizeEstLast > 0 {
+			return s.sizeEstLast
+		}
 		return 0
 	}
 	s.encCache = data
 	s.sizeEst = float64(len(data))
+	s.sizeEstLast = s.sizeEst
 	return s.sizeEst
 }
 
@@ -587,4 +896,20 @@ func decodePlan(data []byte) (planMsg, error) {
 		return planMsg{}, fmt.Errorf("swaprt: decode plan: %w", err)
 	}
 	return p, nil
+}
+
+func encodeCommit(m commitMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("swaprt: encode commit: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCommit(data []byte) (commitMsg, error) {
+	var m commitMsg
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return commitMsg{}, fmt.Errorf("swaprt: decode commit: %w", err)
+	}
+	return m, nil
 }

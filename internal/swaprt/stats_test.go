@@ -2,17 +2,19 @@ package swaprt
 
 import (
 	"bytes"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 func TestAssignFullChannelFailsLoudly(t *testing.T) {
 	m := newManager(2, Config{}.fill(), NewLocalDecider(core.Greedy()))
-	a := assignment{epoch: 1, activeSet: []int{1}, stateFrom: 0}
+	a := assignment{epoch: 1, stateFrom: 0}
 	for i := 0; i < cap(m.assignCh[1]); i++ {
 		if err := m.assign(1, a); err != nil {
 			t.Fatalf("assign %d: %v", i, err)
@@ -52,6 +54,44 @@ func TestStateSizeEstimateCachedAndInvalidated(t *testing.T) {
 	}
 	if got := s.stateSizeEstimate(); got <= first {
 		t.Fatalf("post-invalidation estimate %g not refreshed (was %g)", got, first)
+	}
+}
+
+func TestStateSizeEstimateUnencodableFallsBack(t *testing.T) {
+	tr := obs.New(0)
+	tr.Enable()
+	s := &Session{state: newStateSet(), sizeEst: -1, tr: tr}
+	x := make([]byte, 512)
+	s.Register("x", &x)
+	good := s.stateSizeEstimate()
+	if good <= 0 {
+		t.Fatalf("estimate = %g", good)
+	}
+
+	// Registering something gob cannot encode must not zero the estimate:
+	// a free-looking swap would corrupt the payback prediction. The last
+	// good size is the fallback.
+	ch := make(chan int)
+	s.Register("ch", &ch)
+	if got := s.stateSizeEstimate(); got != good {
+		t.Fatalf("estimate after unencodable registration = %g, want last good %g", got, good)
+	}
+	var traced bool
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.KindRuntimeError && strings.Contains(ev.Detail, "state size estimate") {
+			traced = true
+		}
+	}
+	if !traced {
+		t.Fatal("encode failure left no RuntimeError trace event")
+	}
+
+	// With no good estimate ever computed the fallback is 0 — and no panic.
+	s2 := &Session{state: newStateSet(), sizeEst: -1}
+	ch2 := make(chan int)
+	s2.Register("ch2", &ch2)
+	if got := s2.stateSizeEstimate(); got != 0 {
+		t.Fatalf("estimate with no history = %g, want 0", got)
 	}
 }
 

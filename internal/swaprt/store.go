@@ -3,6 +3,7 @@ package swaprt
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -135,6 +136,52 @@ func readBody(dec *json.Decoder, conn io.Reader, size int64) ([]byte, error) {
 type StoreClient struct {
 	Addr    string
 	Timeout time.Duration // per operation; zero means 30 s
+	// Attempts bounds the tries per operation (first try + retries).
+	// Only transport failures — dial errors, short reads, dropped
+	// connections — are retried; an error the store itself reported in a
+	// decoded reply is a definitive answer and returns immediately.
+	// <= 0 selects 1 (no retry), preserving the old behavior.
+	Attempts int
+	// RetryBackoff is the sleep before the first retry, doubling each
+	// further retry. <= 0 selects 50ms.
+	RetryBackoff time.Duration
+}
+
+// storeErr is an error the store itself reported in a decoded reply: the
+// transport worked, the operation was simply refused (unknown key, size
+// out of range). Retrying it would re-ask a question already answered.
+type storeErr struct{ msg string }
+
+func (e storeErr) Error() string { return e.msg }
+
+func isStoreError(err error) bool {
+	var se storeErr
+	return errors.As(err, &se)
+}
+
+// retry runs op up to c.Attempts times, backing off between transport
+// failures and stopping early on success or a store-reported error.
+func (c StoreClient) retry(op func() error) error {
+	attempts := c.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err = op()
+		if err == nil || isStoreError(err) {
+			return err
+		}
+	}
+	return err
 }
 
 // dial connects to the store. The caller arms the operation deadline on the
@@ -152,8 +199,13 @@ func (c StoreClient) dial() (net.Conn, time.Duration, error) {
 	return conn, timeout, nil
 }
 
-// Put stores data under key, replacing any previous blob.
+// Put stores data under key, replacing any previous blob. Transport
+// failures are retried up to c.Attempts times.
 func (c StoreClient) Put(key string, data []byte) error {
+	return c.retry(func() error { return c.put(key, data) })
+}
+
+func (c StoreClient) put(key string, data []byte) error {
 	conn, timeout, err := c.dial()
 	if err != nil {
 		return err
@@ -172,13 +224,24 @@ func (c StoreClient) Put(key string, data []byte) error {
 		return fmt.Errorf("swaprt: store put reply: %w", err)
 	}
 	if !rep.OK {
-		return fmt.Errorf("swaprt: store put: %s", rep.Error)
+		return fmt.Errorf("swaprt: store put: %w", storeErr{rep.Error})
 	}
 	return nil
 }
 
-// Get fetches the blob stored under key.
+// Get fetches the blob stored under key. Transport failures are retried
+// up to c.Attempts times.
 func (c StoreClient) Get(key string) ([]byte, error) {
+	var body []byte
+	err := c.retry(func() error {
+		var opErr error
+		body, opErr = c.get(key)
+		return opErr
+	})
+	return body, err
+}
+
+func (c StoreClient) get(key string) ([]byte, error) {
 	conn, timeout, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -195,10 +258,10 @@ func (c StoreClient) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("swaprt: store get reply: %w", err)
 	}
 	if !rep.OK {
-		return nil, fmt.Errorf("swaprt: store get: %s", rep.Error)
+		return nil, fmt.Errorf("swaprt: store get: %w", storeErr{rep.Error})
 	}
 	if rep.Size < 0 || rep.Size > maxCheckpointBytes {
-		return nil, fmt.Errorf("swaprt: store get: size %d out of range", rep.Size)
+		return nil, fmt.Errorf("swaprt: store get: %w", storeErr{fmt.Sprintf("size %d out of range", rep.Size)})
 	}
 	body, err := readBody(dec, conn, rep.Size)
 	if err != nil {

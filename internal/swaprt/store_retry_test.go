@@ -1,0 +1,108 @@
+package swaprt
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyStore fronts a real StoreServer with an accept loop that kills
+// the next failNext connections before they are served, modeling a
+// store that drops connections under load. conns counts every accepted
+// connection, served or not.
+type flakyStore struct {
+	addr     string
+	srv      *StoreServer
+	failNext atomic.Int64
+	conns    atomic.Int64
+}
+
+func startFlakyStore(t *testing.T) *flakyStore {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	f := &flakyStore{addr: ln.Addr().String(), srv: NewStoreServer(nil)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			f.conns.Add(1)
+			if f.failNext.Add(-1) >= 0 {
+				_ = conn.Close()
+				continue
+			}
+			go f.srv.serveConn(conn)
+		}
+	}()
+	return f
+}
+
+func TestStoreClientRetriesTransportFailures(t *testing.T) {
+	cases := []struct {
+		name     string
+		failNext int64 // connections killed before the op
+		attempts int
+		wantErr  bool
+	}{
+		{"healthy store, no retry budget", 0, 0, false},
+		{"one drop absorbed", 1, 2, false},
+		{"drops within budget", 2, 3, false},
+		{"drops exhaust budget", 3, 3, true},
+		{"no budget means no retry", 1, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := startFlakyStore(t)
+			c := StoreClient{Addr: f.addr, Attempts: tc.attempts,
+				RetryBackoff: time.Millisecond, Timeout: 2 * time.Second}
+			blob := bytes.Repeat([]byte{0x5A}, 4096)
+
+			f.failNext.Store(tc.failNext)
+			err := c.Put("ckpt", blob)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("put survived more drops than its retry budget")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("put: %v", err)
+			}
+
+			// The same budget covers reads.
+			f.failNext.Store(tc.failNext)
+			got, err := c.Get("ckpt")
+			if err != nil {
+				t.Fatalf("get: %v", err)
+			}
+			if !bytes.Equal(got, blob) {
+				t.Fatalf("blob corrupted through retries: %d vs %d bytes", len(got), len(blob))
+			}
+		})
+	}
+}
+
+func TestStoreClientDoesNotRetryStoreErrors(t *testing.T) {
+	// A decoded reply carrying an error is a definitive answer from a
+	// healthy store; burning the retry budget on it would just re-ask.
+	f := startFlakyStore(t)
+	c := StoreClient{Addr: f.addr, Attempts: 5, RetryBackoff: time.Millisecond}
+	_, err := c.Get("missing")
+	if err == nil || !strings.Contains(err.Error(), "no checkpoint") {
+		t.Fatalf("err = %v, want missing-key error", err)
+	}
+	if !isStoreError(err) {
+		t.Fatalf("missing-key error not marked as store-reported: %v", err)
+	}
+	if got := f.conns.Load(); got != 1 {
+		t.Fatalf("store saw %d connections, want 1 (no retry on store errors)", got)
+	}
+}
