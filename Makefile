@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench figures ablations extensions check fuzz trace-smoke chaos-smoke clean
+.PHONY: all build vet lint test race bench figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke clean
 
 all: build vet lint test
 
@@ -76,6 +76,28 @@ chaos-smoke:
 		-transfer-timeout 250ms -trace-out results/trace-chaos.json
 	$(GO) run ./cmd/tracecheck -chaos results/trace-chaos.json
 
+# Live-monitoring smoke (DESIGN.md §14): a fault-injected run serves
+# /metrics, /telemetry and /healthz on -debug-addr while swapmon -once
+# polls the telemetry document until it shows at least one committed
+# swap and one detected slowdown anomaly (or times out, failing the
+# build). The chaos plan reuses the chaos-smoke shape so the report also
+# carries quarantine and circuit-breaker state.
+mon-smoke:
+	mkdir -p results
+	$(GO) build -o results/mon-swaprun ./cmd/swaprun
+	$(GO) build -o results/mon-swapmon ./cmd/swapmon
+	./results/mon-swaprun -ranks 3 -active 1 -iters 1000 -work 5 \
+		-inject '0@0.2:8,1@0:4' \
+		-chaos 'seed=7;die:rank=2,iter=3;mgrdown:after=2,count=6' \
+		-transfer-timeout 250ms \
+		-telemetry -debug-addr 127.0.0.1:7091 & \
+	RUN_PID=$$!; \
+	./results/mon-swapmon -addr 127.0.0.1:7091 -once \
+		-min-swaps 1 -min-anomalies 1 -timeout 60s; \
+	STATUS=$$?; \
+	kill $$RUN_PID 2>/dev/null; wait $$RUN_PID 2>/dev/null; \
+	exit $$STATUS
+
 fuzz:
 	$(GO) test -fuzz FuzzParseTraceCSV -fuzztime 30s ./internal/loadgen/
 	$(GO) test -fuzz FuzzUnpackParts -fuzztime 30s ./internal/mpi/
@@ -86,4 +108,5 @@ fuzz:
 # them across runs, keyed on go.sum, and `make lint` relies on the build
 # cache to keep swapvet compilation cheap.
 clean:
-	rm -rf results/*.csv results/*.txt results/*.json results/*.jsonl
+	rm -rf results/*.csv results/*.txt results/*.json results/*.jsonl \
+		results/mon-swaprun results/mon-swapmon

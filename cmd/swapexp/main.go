@@ -215,11 +215,17 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string) error {
 		}
 		return 1000
 	}
+	var hub *swaprt.TelemetryHub
+	if traceFlags.Telemetry {
+		hub = swaprt.NewTelemetryHub(nil)
+		world.SetSendLatencySampling(true)
+	}
 	cfg := swaprt.Config{
-		Active: active,
-		Policy: core.Greedy(),
-		Probe:  probe,
-		Tracer: tracer,
+		Active:    active,
+		Policy:    core.Greedy(),
+		Probe:     probe,
+		Tracer:    tracer,
+		Telemetry: hub,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
@@ -272,9 +278,18 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string) error {
 		return err
 	}
 	fmt.Printf("live demo stats: %s\n", stats)
-	return traceFlags.Write(tracer, func(format string, args ...any) {
+	if hub != nil {
+		rep := hub.Report()
+		fmt.Printf("live telemetry: %d decisions (%d swap verdicts, %d committed), %d ranks observed\n",
+			rep.Decisions.Count, rep.Decisions.SwapVerdicts, rep.Decisions.Swaps, len(rep.Ranks))
+	}
+	logf := func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
-	})
+	}
+	if err := traceFlags.WriteMetrics(world.Metrics(), logf); err != nil {
+		return err
+	}
+	return traceFlags.Write(tracer, logf)
 }
 
 func fatal(err error) {

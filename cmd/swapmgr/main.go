@@ -6,8 +6,10 @@
 // DecideResponse.
 //
 // With -debug-addr it also serves an HTTP endpoint exposing expvar
-// (including the manager's decision counters under "swapmgr") and
-// net/http/pprof profiles for live inspection.
+// (including the manager's decision counters under "swapmgr"),
+// net/http/pprof profiles, /metrics in Prometheus text format,
+// /telemetry with the fleet-wide telemetry aggregated from the rank
+// snapshots piggybacked on handler reports, and /healthz.
 //
 // Example:
 //
@@ -31,19 +33,25 @@ import (
 )
 
 // meteredDecider wraps the local decider with registry counters so the
-// debug endpoint can report live decision activity. It forwards Report
-// so handler measurements still reach the decider's history.
+// debug endpoint can report live decision activity, and with the
+// telemetry hub that aggregates the fleet view: Decide observes the
+// decision stream (verdicts, payback distances, latency) and Report
+// absorbs the per-rank telemetry snapshots piggybacked on handler
+// reports. It forwards Report so handler measurements still reach the
+// decider's history.
 type meteredDecider struct {
 	inner     *swaprt.LocalDecider
+	hub       *swaprt.TelemetryHub // nil-safe
 	decisions *obs.Counter
 	swaps     *obs.Counter
 	reports   *obs.Counter
 	decideNS  *obs.Counter
 }
 
-func newMeteredDecider(inner *swaprt.LocalDecider, reg *obs.Registry) *meteredDecider {
+func newMeteredDecider(inner *swaprt.LocalDecider, hub *swaprt.TelemetryHub, reg *obs.Registry) *meteredDecider {
 	return &meteredDecider{
 		inner:     inner,
+		hub:       hub,
 		decisions: reg.Counter("swapmgr.decisions"),
 		swaps:     reg.Counter("swapmgr.swaps"),
 		reports:   reg.Counter("swapmgr.reports"),
@@ -55,10 +63,13 @@ func newMeteredDecider(inner *swaprt.LocalDecider, reg *obs.Registry) *meteredDe
 func (d *meteredDecider) Decide(req swaprt.DecideRequest) (swaprt.DecideResponse, error) {
 	start := time.Now()
 	resp, err := d.inner.Decide(req)
-	d.decideNS.Add(uint64(time.Since(start)))
+	dur := time.Since(start)
+	d.decideNS.Add(uint64(dur))
 	d.decisions.Inc()
 	if err == nil {
 		d.swaps.Add(uint64(len(resp.Swaps)))
+		d.hub.ObserveDecision(req.Now, resp.Eval, len(resp.Swaps), dur.Seconds())
+		d.hub.ObserveEpoch(req.Epoch, req.ActiveSet)
 	}
 	return resp, err
 }
@@ -66,6 +77,10 @@ func (d *meteredDecider) Decide(req swaprt.DecideRequest) (swaprt.DecideResponse
 // Report implements swaprt.Reporter.
 func (d *meteredDecider) Report(r swaprt.ReportMsg) error {
 	d.reports.Inc()
+	// Absorb only: the piggybacked snapshot already carries the probe
+	// rate, and a locally observed probe series would take precedence
+	// over the (richer) absorbed snapshot in the hub's report.
+	d.hub.Absorb(r.Telemetry)
 	return d.inner.Report(r)
 }
 
@@ -92,21 +107,28 @@ func main() {
 	var decider swaprt.Decider = swaprt.NewLocalDecider(pol)
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
-		decider = newMeteredDecider(swaprt.NewLocalDecider(pol), reg)
+		hub := swaprt.NewTelemetryHub(nil)
+		decider = newMeteredDecider(swaprt.NewLocalDecider(pol), hub, reg)
 		expvar.Publish("swapmgr", expvar.Func(reg.ExpvarFunc()))
+		// DefaultServeMux carries expvar's /debug/vars and pprof's
+		// /debug/pprof/* handlers via their package init side effects; the
+		// observability endpoints join them.
+		http.Handle("/metrics", obs.PromHandler(reg))
+		http.Handle("/telemetry", swaprt.TelemetryHandler(hub))
+		http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "swapmgr:", err)
 			os.Exit(1)
 		}
 		go func() {
-			// DefaultServeMux carries expvar's /debug/vars and pprof's
-			// /debug/pprof/* handlers via their package init side effects.
 			if err := http.Serve(dln, nil); err != nil {
 				log.Printf("swapmgr: debug endpoint: %v", err)
 			}
 		}()
-		log.Printf("swapmgr: debug endpoint (expvar + pprof) on http://%s/debug/vars", dln.Addr())
+		log.Printf("swapmgr: debug endpoint on http://%s (/debug/vars /metrics /telemetry /healthz)", dln.Addr())
 	}
 
 	log.Printf("swapmgr: serving policy %s on %s", pol, ln.Addr())

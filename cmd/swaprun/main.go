@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/mpi/fault"
+	"repro/internal/obs"
 	"repro/internal/obs/obsflag"
 	"repro/internal/swaprt"
 )
@@ -105,6 +108,7 @@ func main() {
 		tcpWorld = flag.Bool("tcp", false, "use the TCP transport between ranks instead of in-process")
 		chaos    = flag.String("chaos", "", "fault plan, e.g. 'seed=7;die:rank=2,iter=3;mgrdown:after=2,count=6' (see internal/mpi/fault); empty for none")
 		transfer = flag.Duration("transfer-timeout", 0, "per-leg state-transfer deadline before a swap aborts (0 = runtime default)")
+		debug    = flag.String("debug-addr", "", "HTTP debug endpoint serving /metrics (Prometheus), /telemetry (JSON) and /healthz (e.g. 127.0.0.1:7081)")
 	)
 	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
@@ -160,14 +164,32 @@ func main() {
 		fatal(err)
 	}
 
+	// One clock shared by the runtime and the telemetry hub, so series
+	// timestamps line up with trace timestamps.
+	runStart := time.Now()
+	clock := func() float64 { return time.Since(runStart).Seconds() }
+
+	var hub *swaprt.TelemetryHub
+	if traceFlags.Telemetry {
+		hub = swaprt.NewTelemetryHub(clock)
+		// Telemetry rides on the swap handlers' periodic reports; give them
+		// the telemetry cadence unless the user picked their own.
+		if *handler == 0 {
+			*handler = traceFlags.TelemetryInterval
+		}
+		world.SetSendLatencySampling(true)
+	}
+
 	cfg := swaprt.Config{
 		Active:          *active,
 		Policy:          pol,
 		Probe:           inj.probe,
+		Clock:           clock,
 		Logf:            log.Printf,
 		HandlerInterval: *handler,
 		TransferTimeout: *transfer,
 		Tracer:          tracer,
+		Telemetry:       hub,
 	}
 	var primary swaprt.Decider
 	if *manager != "" {
@@ -194,6 +216,26 @@ func main() {
 		}
 		defer resilient.Close()
 		cfg.Decider = resilient
+		hub.SetCircuitProbe(resilient.State)
+	}
+
+	if *debug != "" {
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.PromHandler(world.Metrics()))
+		mux.Handle("/telemetry", swaprt.TelemetryHandler(hub))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		go func() {
+			if err := http.Serve(dln, mux); err != nil {
+				log.Printf("debug endpoint: %v", err)
+			}
+		}()
+		log.Printf("debug endpoint on http://%s (/metrics /telemetry /healthz)", dln.Addr())
 	}
 
 	start := time.Now()
@@ -247,6 +289,9 @@ func main() {
 		*iters, *active, *ranks, time.Since(start).Seconds(), totalSwaps)
 	fmt.Printf("runtime stats: %s\n", stats)
 	if err := traceFlags.Write(tracer, log.Printf); err != nil {
+		fatal(err)
+	}
+	if err := traceFlags.WriteMetrics(world.Metrics(), log.Printf); err != nil {
 		fatal(err)
 	}
 	if corrupt {

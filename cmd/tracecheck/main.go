@@ -8,9 +8,17 @@
 // "close". CI's trace-smoke and chaos-smoke targets run it against
 // fresh swaprun demos.
 //
+// With -analyze the argument is a JSONL event log (-events-out) instead:
+// tracecheck replays it offline and prints a deterministic analysis
+// report — swap-overhead attribution per the payback algebra, per-round
+// critical path and imbalance, decision latency quantiles, and anomaly
+// windows from the telemetry slowdown detector. The same trace always
+// produces a byte-identical report, so reports diff cleanly across runs.
+//
 // Example:
 //
 //	swaprun -ranks 2 -active 1 -trace-out run.json && tracecheck run.json
+//	swaprun -ranks 2 -active 1 -events-out run.jsonl && tracecheck -analyze run.jsonl
 package main
 
 import (
@@ -25,12 +33,17 @@ import (
 func main() {
 	noDecision := flag.Bool("no-decision", false, "skip the SwapDecision payload requirement (traces from runs that never reach a decision point)")
 	chaosCheck := flag.Bool("chaos", false, "require fault-injection evidence: a Quarantine event and a Circuit open followed by a close")
+	analyze := flag.Bool("analyze", false, "treat the argument as a JSONL event log and print the offline analysis report")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-no-decision] <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-no-decision|-chaos] <trace.json> | tracecheck -analyze <events.jsonl>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+	if *analyze {
+		runAnalyze(path)
+		return
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -118,6 +131,23 @@ func main() {
 		fmt.Printf(", %d quarantines + circuit recovery", quarantines)
 	}
 	fmt.Println()
+}
+
+// runAnalyze reads a JSONL event log and prints the deterministic
+// offline analysis report.
+func runAnalyze(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.Analyze(events).WriteReport(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -136,6 +136,11 @@ func TestAnalyzerScoping(t *testing.T) {
 		{analysis.ObsDiscipline, "repro/internal/mpi", true},
 		{analysis.ObsDiscipline, "repro/internal/swaprt", true},
 		{analysis.ObsDiscipline, "repro/internal/simkern", true},
+		{analysis.ObsDiscipline, "repro/internal/obs/series", true},
+		// monclient (and any future swapmon subpackage) must render onto
+		// caller-supplied writers; the swapmon main package is the UI.
+		{analysis.ObsDiscipline, "repro/cmd/swapmon/monclient", true},
+		{analysis.ObsDiscipline, "repro/cmd/swapmon", false},
 		{analysis.ObsDiscipline, "repro/internal/obs", false},
 		{analysis.ObsDiscipline, "repro/cmd/swaprun", false},
 	}

@@ -3,18 +3,29 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // obsPkgs are the runtime packages whose hot paths must stay silent:
-// the MPI substrate, the swapping runtime and the simulation kernel.
-// Diagnostics go through obs events (structured, exportable, cheap when
-// disabled) or the injected cfg.Logf; direct printing from these
-// packages bypasses both the rank attribution and the enabled gate, and
-// corrupts the stdout of every command that embeds them.
+// the MPI substrate, the swapping runtime, the simulation kernel and
+// the telemetry series primitives the hub samples into. Diagnostics go
+// through obs events (structured, exportable, cheap when disabled) or
+// the injected cfg.Logf; direct printing from these packages bypasses
+// both the rank attribution and the enabled gate, and corrupts the
+// stdout of every command that embeds them.
 var obsPkgs = map[string]bool{
-	"repro/internal/mpi":     true,
-	"repro/internal/swaprt":  true,
-	"repro/internal/simkern": true,
+	"repro/internal/mpi":        true,
+	"repro/internal/swaprt":     true,
+	"repro/internal/simkern":    true,
+	"repro/internal/obs/series": true,
+}
+
+// obsApplies also sweeps in swapmon's non-UI subpackages (monclient
+// renders onto caller-supplied writers so the same code serves the
+// dashboard, the CI smoke check and tests); the swapmon main package
+// itself is the UI and may print.
+func obsApplies(pkgPath string) bool {
+	return obsPkgs[pkgPath] || strings.HasPrefix(pkgPath, "repro/cmd/swapmon/")
 }
 
 // logFuncs are the stdlib log package-level printers (all write to the
@@ -32,8 +43,8 @@ var logFuncs = map[string]bool{
 // Logf.
 var ObsDiscipline = &Analyzer{
 	Name:    "obsdiscipline",
-	Doc:     "forbid fmt/log console printing in the runtime packages (mpi, swaprt, simkern); use obs events or cfg.Logf",
-	Applies: func(pkgPath string) bool { return obsPkgs[pkgPath] },
+	Doc:     "forbid fmt/log console printing in the runtime packages (mpi, swaprt, simkern, obs/series, swapmon/monclient); use obs events or cfg.Logf",
+	Applies: obsApplies,
 	Run:     runObsDiscipline,
 }
 

@@ -5,6 +5,7 @@ package fixture
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -37,4 +38,14 @@ func allowed(rank int, sb *strings.Builder) string {
 	err := fmt.Errorf("rank %d failed", rank)
 	_ = err
 	return s
+}
+
+// render mirrors swapmon's monclient shape: a dashboard renderer writes
+// to a caller-supplied writer, never a standard stream — the UI decides
+// where the text goes.
+func render(w io.Writer, epoch uint64, quarantined []int) {
+	fmt.Fprintf(w, "epoch=%d\n", epoch)
+	for _, r := range quarantined {
+		fmt.Fprintln(w, "quarantined:", r)
+	}
 }

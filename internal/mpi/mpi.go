@@ -206,6 +206,21 @@ func (w *World) SetTracer(t *obs.Tracer) { w.tracer.Store(t) }
 // is nil-safe to use directly.
 func (w *World) Tracer() *obs.Tracer { return w.tracer.Load() }
 
+// SetSendLatencySampling toggles the TCP transport's per-send latency
+// histogram ("mpi.tcp.send_latency_s"). Off (the default) the send hot
+// path pays one atomic load and nothing else; on, each successful send
+// records its wall duration. No-op on in-process worlds. Safe to call
+// concurrently with running ranks.
+func (w *World) SetSendLatencySampling(on bool) {
+	tr := w.transport
+	if ft, ok := tr.(*faultTransport); ok {
+		tr = ft.inner
+	}
+	if t, ok := tr.(*tcpTransport); ok {
+		t.latOn.Store(on)
+	}
+}
+
 // NewWorld creates an in-process world of the given size.
 func NewWorld(size int) *World {
 	if size <= 0 {

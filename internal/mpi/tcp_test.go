@@ -131,3 +131,64 @@ func TestTCPWorldCloseIsIdempotent(t *testing.T) {
 	w.Close()
 	w.Close()
 }
+
+// TestTCPSendLatencySampling pins the telemetry gate: latency samples
+// land in "mpi.tcp.send_latency_s" only while sampling is enabled, so
+// disabled telemetry keeps the send hot path at one atomic load.
+func TestTCPSendLatencySampling(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := w.Metrics().Histogram("mpi.tcp.send_latency_s", 0, 0.010, 50)
+	var offN, onN int
+	err = w.Run(func(r *Rank) error {
+		c := r.World()
+		if r.Rank() == 1 { // echo three rounds
+			for tag := 1; tag <= 3; tag++ {
+				if _, _, err := c.Recv(0, tag); err != nil {
+					return err
+				}
+				if err := c.Send(0, tag+10, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		roundTrip := func(tag int) error {
+			if err := c.Send(1, tag, []byte("x")); err != nil {
+				return err
+			}
+			_, _, err := c.Recv(1, tag+10)
+			return err
+		}
+		if err := roundTrip(1); err != nil { // sampling off
+			return err
+		}
+		s := hist.Snapshot()
+		offN = s.N()
+		w.SetSendLatencySampling(true)
+		if err := roundTrip(2); err != nil {
+			return err
+		}
+		s = hist.Snapshot()
+		onN = s.N()
+		w.SetSendLatencySampling(false)
+		return roundTrip(3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offN != 0 {
+		t.Fatalf("sampling off but %d samples recorded", offN)
+	}
+	// Rank 0's own tag-2 send is sampled and recorded before Send returns.
+	if onN == 0 {
+		t.Fatal("sampling on but no samples recorded")
+	}
+	// After re-disabling, only the on-phase round trip (tag 2 out, echo
+	// back) can have contributed samples.
+	if s := hist.Snapshot(); s.N() > 2 {
+		t.Fatalf("sampling re-disabled but %d samples recorded", s.N())
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadJSONLRoundTrip pins that WriteJSONL → ReadJSONL reproduces the
+// event stream exactly, kinds included.
+func TestReadJSONLRoundTrip(t *testing.T) {
+	tr := New(2)
+	tr.Enable()
+	tr.Emit(Event{Kind: KindIterEnd, Rank: 0, T: 1, Value: 0.5})
+	tr.Emit(Event{Kind: KindSwapDecision, Rank: 0, T: 2, Dur: 0.001,
+		SwapTime: 0.2, Payback: 3, Swaps: 1, Verdict: "swap", Reason: "gain"})
+	tr.Emit(Event{Kind: KindStateTransfer, Rank: 1, T: 2.1, Dur: 0.05, Bytes: 1024, Detail: "out"})
+	tr.Emit(Event{Kind: KindAnomaly, Rank: 1, T: 3, Value: 0.9, IterTime: 0.3, Z: 4.2, Detail: "iter_time"})
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"NoSuchKind","rank":0}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{not json`)); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank input: %v, %d events", err, len(evs))
+	}
+}
+
+// TestAnalyzeSyntheticTrace drives Analyze over a hand-built trace and
+// checks the report's core sections: per-rank iteration stats, swap
+// attribution, round imbalance, decision latency, and the offline
+// anomaly replay firing on an excursion the trace itself never flagged.
+func TestAnalyzeSyntheticTrace(t *testing.T) {
+	var events []Event
+	// 20 rounds on 2 ranks: rank 0 steady at 0.1s, rank 1 steady at 0.2s
+	// until round 15, where it jumps to 1.6s (an 8x excursion).
+	for i := 0; i < 20; i++ {
+		ti := float64(i + 1)
+		v1 := 0.2
+		if i == 15 {
+			v1 = 1.6
+		}
+		events = append(events,
+			Event{Kind: KindIterEnd, Rank: 0, T: ti, Value: 0.1},
+			Event{Kind: KindIterEnd, Rank: 1, T: ti, Value: v1},
+			Event{Kind: KindSwapDecision, Rank: 0, T: ti + 0.01, Dur: 0.001, Verdict: "stay"},
+		)
+	}
+	// One swap decision with its transfer.
+	events = append(events,
+		Event{Kind: KindIterEnd, Rank: 0, T: 21, Value: 0.1},
+		Event{Kind: KindIterEnd, Rank: 1, T: 21, Value: 0.2},
+		Event{Kind: KindSwapDecision, Rank: 0, T: 21.01, Dur: 0.002,
+			SwapTime: 0.5, Payback: 4, Swaps: 1, Verdict: "swap"},
+		Event{Kind: KindStateTransfer, Rank: 1, T: 21.02, Dur: 0.3, Bytes: 2048, Detail: "out"},
+	)
+	sortEvents(events)
+
+	a := Analyze(events)
+	if len(a.Ranks) != 2 || a.Ranks[0] != 0 || a.Ranks[1] != 1 {
+		t.Fatalf("ranks %v", a.Ranks)
+	}
+	wins := a.AnomalyWindows()
+	if len(wins) != 1 || wins[0].Rank != 1 || wins[0].Peak != 1.6 {
+		t.Fatalf("anomaly windows %+v", wins)
+	}
+
+	var b strings.Builder
+	if err := a.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	rep := b.String()
+	for _, want := range []string{
+		"2 ranks",
+		"== swap overhead attribution",
+		"directives=1 payback=4 predicted=0.5s actual=0.3s bytes=2048",
+		"== swap-point rounds",
+		"rounds=21",
+		"== decision latency",
+		"== anomaly windows",
+		"rank 1",
+		"peak=1.6s",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q\n---\n%s", want, rep)
+		}
+	}
+	// Imbalance: rank 1 dominates every round; stretch must exceed 1.
+	if !strings.Contains(rep, "critical_path=") {
+		t.Errorf("no critical path in report\n%s", rep)
+	}
+
+	// Determinism: same events, byte-identical report.
+	var b2 strings.Builder
+	if err := Analyze(events).WriteReport(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != rep {
+		t.Error("two analyses of the same trace differ")
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	var b strings.Builder
+	if err := Analyze(nil).WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0 events", "no rounds", "no swap decisions", "none detected"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("empty report missing %q\n%s", want, b.String())
+		}
+	}
+}

@@ -139,6 +139,7 @@ func eventArgs(ev Event) map[string]any {
 	put("swaps", ev.Swaps)
 	put("verdict", ev.Verdict)
 	put("reason", ev.Reason)
+	put("z", ev.Z)
 	put("detail", ev.Detail)
 	if len(args) == 0 {
 		return nil

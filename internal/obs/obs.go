@@ -67,6 +67,11 @@ const (
 	// KindRuntimeError is a recoverable runtime error that was logged and
 	// worked around rather than propagated (Detail = what happened).
 	KindRuntimeError
+	// KindAnomaly is a telemetry slowdown detection: the rank's iteration
+	// time broke upward from its rolling window (Value = the anomalous
+	// sample, IterTime = the rolling mean it broke from, Z = the z-score;
+	// Detail = the monitored series name, e.g. "iter_time").
+	KindAnomaly
 )
 
 var kindNames = [...]string{
@@ -85,6 +90,7 @@ var kindNames = [...]string{
 	KindCircuit:       "Circuit",
 	KindFaultInject:   "FaultInject",
 	KindRuntimeError:  "RuntimeError",
+	KindAnomaly:       "Anomaly",
 }
 
 // String implements fmt.Stringer.
@@ -118,6 +124,7 @@ type Event struct {
 	Swaps    int     `json:"swaps,omitempty"`     // directives ordered
 	Verdict  string  `json:"verdict,omitempty"`   // "swap" or "stay"
 	Reason   string  `json:"reason,omitempty"`    // why the verdict
+	Z        float64 `json:"z,omitempty"`         // anomaly z-score (KindAnomaly)
 
 	Detail string `json:"detail,omitempty"` // free-form (direction, op name, ...)
 }

@@ -1,7 +1,8 @@
-// Package obsflag binds the standard tracing flags shared by the
-// swaprun, swapexp and swapsim commands — -trace-out, -events-out and
-// -trace-ranks — to an obs.Tracer, so every command exports the same
-// trace formats with the same spelling.
+// Package obsflag binds the standard observability flags shared by the
+// swaprun, swapexp and swapsim commands — the tracing trio -trace-out,
+// -events-out and -trace-ranks, plus the telemetry pair -telemetry and
+// -telemetry-interval and the -metrics-out dump — so every command
+// exports the same formats with the same spelling.
 package obsflag
 
 import (
@@ -11,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -20,6 +22,10 @@ type Flags struct {
 	TraceOut  string // Chrome trace_event JSON (ui.perfetto.dev loadable)
 	EventsOut string // JSONL event log, one event per line
 	Ranks     string // comma-separated rank filter, "" = every rank
+
+	Telemetry         bool          // enable the live telemetry hub
+	TelemetryInterval time.Duration // snapshot/report cadence
+	MetricsOut        string        // final Prometheus-text metrics dump
 }
 
 // Register binds the tracing flags to fs (flag.CommandLine in the
@@ -29,6 +35,9 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome/Perfetto trace_event JSON file (open at ui.perfetto.dev)")
 	fs.StringVar(&f.EventsOut, "events-out", "", "write a JSONL event log file")
 	fs.StringVar(&f.Ranks, "trace-ranks", "", "restrict tracing to these comma-separated ranks (empty = all)")
+	fs.BoolVar(&f.Telemetry, "telemetry", false, "enable live telemetry (windowed per-rank series, slowdown detection, /telemetry on -debug-addr)")
+	fs.DurationVar(&f.TelemetryInterval, "telemetry-interval", 250*time.Millisecond, "telemetry snapshot cadence (with -telemetry)")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a final Prometheus-text metrics dump file")
 	return f
 }
 
@@ -102,6 +111,22 @@ func (f *Flags) Write(tr *obs.Tracer, logf func(string, ...any)) error {
 	}
 	if d := tr.Dropped(); d > 0 {
 		logf("warning: %d events dropped (per-rank buffer limit)", d)
+	}
+	return nil
+}
+
+// WriteMetrics dumps the registry in Prometheus text format to the
+// -metrics-out file. No file requested or a nil registry is a no-op, so
+// callers run it unconditionally after the run.
+func (f *Flags) WriteMetrics(reg *obs.Registry, logf func(string, ...any)) error {
+	if f.MetricsOut == "" || reg == nil {
+		return nil
+	}
+	if err := writeFile(f.MetricsOut, reg.WritePrometheus); err != nil {
+		return err
+	}
+	if logf != nil {
+		logf("wrote Prometheus metrics dump to %s", f.MetricsOut)
 	}
 	return nil
 }

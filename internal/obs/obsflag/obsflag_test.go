@@ -4,7 +4,9 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -91,5 +93,44 @@ func TestRegisterAndWrite(t *testing.T) {
 	}
 	if st, err := os.Stat(eventsPath); err != nil || st.Size() == 0 {
 		t.Fatalf("events file missing or empty: %v", err)
+	}
+}
+
+// TestTelemetryFlags pins the shared telemetry flag spelling and
+// defaults, and the -metrics-out dump.
+func TestTelemetryFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Telemetry || f.TelemetryInterval != 250*time.Millisecond || f.MetricsOut != "" {
+		t.Fatalf("defaults: %+v", f)
+	}
+
+	fs2 := flag.NewFlagSet("x", flag.ContinueOnError)
+	f2 := Register(fs2)
+	out := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := fs2.Parse([]string{"-telemetry", "-telemetry-interval", "50ms", "-metrics-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Telemetry || f2.TelemetryInterval != 50*time.Millisecond {
+		t.Fatalf("parsed: %+v", f2)
+	}
+	reg := obs.NewRegistry()
+	reg.Counter("swaprt.swaps").Add(2)
+	if err := f2.WriteMetrics(reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "swaprt_swaps 2") {
+		t.Fatalf("dump missing metric:\n%s", data)
+	}
+	// No file requested: no-op, no error.
+	if err := (&Flags{}).WriteMetrics(reg, nil); err != nil {
+		t.Fatal(err)
 	}
 }

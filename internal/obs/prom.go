@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// promSanitize maps a registry metric name onto the Prometheus metric
+// name charset [a-zA-Z0-9_:], so "mpi.rank0.msgs_sent" exports as
+// "mpi_rank0_msgs_sent". A leading digit gets a '_' prefix.
+func promSanitize(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP annotation per the Prometheus text
+// exposition format: backslash and newline are the only escapes.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-bucket families with _sum and
+// _count. Output order is deterministic (sorted by exported name), so
+// the same registry state always renders byte-identically — swaprun's
+// -metrics-out dump diffs cleanly across runs and the /metrics endpoint
+// is scrape-stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type metric struct {
+		name  string // exported (sanitized) name
+		orig  string
+		typ   string
+		value float64 // counters and gauges
+		hist  *stats.Histogram
+	}
+	var ms []metric
+	for name, c := range r.counters {
+		ms = append(ms, metric{name: promSanitize(name), orig: name,
+			typ: "counter", value: float64(c.Load())})
+	}
+	for name, g := range r.gauges {
+		ms = append(ms, metric{name: promSanitize(name), orig: name,
+			typ: "gauge", value: g.Load()})
+	}
+	for name, lh := range r.hists {
+		h := lh.Snapshot()
+		ms = append(ms, metric{name: promSanitize(name), orig: name,
+			typ: "histogram", hist: &h})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	bw := bufio.NewWriter(w)
+	for _, m := range ms {
+		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, promEscapeHelp(m.orig))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.typ)
+		if m.hist == nil {
+			fmt.Fprintf(bw, "%s %s\n", m.name, promFloat(m.value))
+			continue
+		}
+		h := m.hist
+		// Cumulative buckets: le = each bin's upper edge. Samples below
+		// Lo (Under) are <= every edge; samples at or above Hi (Over)
+		// appear only in +Inf.
+		cum := h.Under
+		width := (h.Hi - h.Lo) / float64(len(h.Counts))
+		for i, c := range h.Counts {
+			cum += c
+			edge := h.Lo + float64(i+1)*width
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.name, promFloat(edge), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, h.N())
+		fmt.Fprintf(bw, "%s_sum %s\n", m.name, promFloat(h.Sum()))
+		fmt.Fprintf(bw, "%s_count %d\n", m.name, h.N())
+	}
+	return bw.Flush()
+}
+
+// PromHandler serves the registry in the Prometheus text format — mount
+// it at /metrics on a debug endpoint.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The response is already streaming; all we can do is cut it
+			// short so the scraper sees a truncated (invalid) payload
+			// rather than a silently incomplete one.
+			return
+		}
+	})
+}

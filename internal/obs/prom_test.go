@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat pins the exposition format: sanitized names,
+// HELP escaping, TYPE lines, deterministic order, and the cumulative
+// histogram family with under/over mass in the right buckets.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("swaprt.swaps").Add(3)
+	reg.Gauge("app.progress").Set(0.5)
+	reg.Counter("0weird.name-with chars\\and\nnewline").Inc()
+	h := reg.Histogram("mpi.tcp.send_latency_s", 0, 1, 4)
+	h.Add(-1)  // under -> every bucket
+	h.Add(0.1) // bin 0
+	h.Add(0.6) // bin 2
+	h.Add(99)  // over -> +Inf only
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	for _, want := range []string{
+		"# TYPE swaprt_swaps counter\nswaprt_swaps 3\n",
+		"# HELP swaprt_swaps swaprt.swaps\n",
+		"# TYPE app_progress gauge\napp_progress 0.5\n",
+		// Sanitized metric name, escaped HELP text.
+		"# TYPE _0weird_name_with_chars_and_newline counter\n",
+		`# HELP _0weird_name_with_chars_and_newline 0weird.name-with chars\\and\nnewline` + "\n",
+		"# TYPE mpi_tcp_send_latency_s histogram\n",
+		`mpi_tcp_send_latency_s_bucket{le="0.25"} 2` + "\n", // under + bin0
+		`mpi_tcp_send_latency_s_bucket{le="0.5"} 2` + "\n",
+		`mpi_tcp_send_latency_s_bucket{le="0.75"} 3` + "\n",
+		`mpi_tcp_send_latency_s_bucket{le="1"} 3` + "\n",
+		`mpi_tcp_send_latency_s_bucket{le="+Inf"} 4` + "\n",
+		"mpi_tcp_send_latency_s_count 4\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q\n---\n%s", want, got)
+		}
+	}
+	// sum = -1 + 0.1 + 0.6 + 99 = 98.7
+	if !strings.Contains(got, "mpi_tcp_send_latency_s_sum 98.7") {
+		t.Errorf("output missing histogram sum\n---\n%s", got)
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var b2 strings.Builder
+	if err := reg.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Error("two renders of the same registry differ")
+	}
+
+	// Sorted family order: gauges and counters interleave by name.
+	if strings.Index(got, "app_progress") > strings.Index(got, "swaprt_swaps") {
+		t.Error("families not sorted by exported name")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	srv := httptest.NewServer(PromHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf [256]byte
+	n, _ := resp.Body.Read(buf[:])
+	if !strings.Contains(string(buf[:n]), "x 1") {
+		t.Fatalf("body %q", buf[:n])
+	}
+}

@@ -1,0 +1,121 @@
+package series
+
+import "math"
+
+// Anomaly is one detected slowdown excursion: a sample whose value sits
+// Z standard deviations above the rolling window mean. In the swapping
+// runtime the monitored value is the per-rank iteration time, so an
+// anomaly is exactly the external-load event the paper's policies react
+// to — the detector makes it a first-class, exportable occurrence
+// instead of something an operator infers from a chart.
+type Anomaly struct {
+	T     float64 `json:"t"`     // sample timestamp (producer clock seconds)
+	Value float64 `json:"value"` // the anomalous sample
+	Mean  float64 `json:"mean"`  // rolling mean at detection time
+	Std   float64 `json:"std"`   // rolling standard deviation
+	Z     float64 `json:"z"`     // (Value - Mean) / Std
+}
+
+// Detector defaults, shared by the live telemetry hub and the offline
+// trace analyzer so both report the same anomaly windows for the same
+// series.
+const (
+	// DefaultWindow is the rolling-window capacity in samples.
+	DefaultWindow = 32
+	// DefaultMinSamples is the warm-up: no verdicts until this many
+	// baseline samples exist.
+	DefaultMinSamples = 8
+	// DefaultZ is the z-score threshold.
+	DefaultZ = 3
+	// DefaultMinFactor additionally requires Value >= MinFactor * Mean,
+	// so a microsecond-noise series with a tiny variance cannot alarm on
+	// operationally meaningless excursions.
+	DefaultMinFactor = 1.5
+)
+
+// Detector flags samples that break upward from their own recent
+// history: z-score over a rolling window, with a multiplicative floor to
+// suppress noise-only alarms. One-sided by design — a rank speeding up
+// is recovery, not an anomaly. Not safe for concurrent use.
+type Detector struct {
+	// Z is the z-score threshold (<= 0 selects DefaultZ).
+	Z float64
+	// MinSamples is the warm-up sample count (<= 0 selects
+	// DefaultMinSamples).
+	MinSamples int
+	// MinFactor is the multiplicative floor over the mean (<= 0 selects
+	// DefaultMinFactor).
+	MinFactor float64
+
+	win *Ring
+}
+
+// NewDetector returns a detector with a rolling window of the given
+// capacity (<= 0 selects DefaultWindow) and default thresholds.
+func NewDetector(window int) *Detector {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Detector{win: NewRing(window)}
+}
+
+func (d *Detector) z() float64 {
+	if d.Z > 0 {
+		return d.Z
+	}
+	return DefaultZ
+}
+
+func (d *Detector) minSamples() int {
+	if d.MinSamples > 0 {
+		return d.MinSamples
+	}
+	return DefaultMinSamples
+}
+
+func (d *Detector) minFactor() float64 {
+	if d.MinFactor > 0 {
+		return d.MinFactor
+	}
+	return DefaultMinFactor
+}
+
+// Observe incorporates one sample and reports whether it is anomalous
+// against the window *before* it. The sample always joins the window —
+// a sustained slowdown therefore alarms on the breaking sample(s) and
+// then adapts, rather than alarming forever.
+func (d *Detector) Observe(t, v float64) (Anomaly, bool) {
+	mean, std, n := d.stats()
+	d.win.Push(t, v)
+	if n < d.minSamples() || std <= 0 {
+		return Anomaly{}, false
+	}
+	z := (v - mean) / std
+	if z < d.z() || v < mean*d.minFactor() {
+		return Anomaly{}, false
+	}
+	return Anomaly{T: t, Value: v, Mean: mean, Std: std, Z: z}, true
+}
+
+// stats computes mean, sample standard deviation and count of the
+// current window.
+func (d *Detector) stats() (mean, std float64, n int) {
+	n = d.win.Len()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	mean = d.win.Mean()
+	if n < 2 {
+		return mean, 0, n
+	}
+	var m2 float64
+	for i := 0; i < n; i++ {
+		dv := d.win.At(i).V - mean
+		m2 += dv * dv
+	}
+	return mean, math.Sqrt(m2 / float64(n-1)), n
+}
+
+// Window exposes the rolling window (for snapshotting quantiles of the
+// same series the detector watches).
+func (d *Detector) Window() *Ring { return d.win }

@@ -1,0 +1,189 @@
+// Package series provides the fixed-capacity time-series primitives
+// behind the live telemetry pipeline: per-rank ring buffers of
+// timestamped samples, windowed aggregation (counter deltas to rates,
+// gauge last-value, quantiles over a rolling window), and a rolling
+// slowdown detector that turns a sudden iteration-time excursion into a
+// typed anomaly.
+//
+// Everything here is allocation-bounded by construction: a Ring never
+// grows past its capacity, so a telemetry hub sampling forever holds a
+// constant amount of memory per rank. The package does no I/O and no
+// printing; consumers (the swaprt telemetry hub, the swapmon dashboard,
+// the trace analyzer) render the numbers.
+package series
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Point is one timestamped sample. T is seconds on the producer's clock
+// (wall seconds in the live runtime, virtual seconds under the
+// simulator).
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Ring is a fixed-capacity time series: pushes past the capacity evict
+// the oldest sample. The zero value is unusable; construct with NewRing.
+// Not safe for concurrent use — callers (the telemetry hub) hold their
+// own lock.
+type Ring struct {
+	buf  []Point
+	head int // index of the oldest sample
+	n    int
+}
+
+// NewRing returns an empty ring holding at most capacity samples.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("series: NewRing(%d)", capacity))
+	}
+	return &Ring{buf: make([]Point, capacity)}
+}
+
+// Push appends a sample, evicting the oldest when full.
+func (r *Ring) Push(t, v float64) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = Point{T: t, V: v}
+		r.n++
+		return
+	}
+	r.buf[r.head] = Point{T: t, V: v}
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Len reports the number of buffered samples.
+func (r *Ring) Len() int { return r.n }
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// At returns the i-th buffered sample, oldest first.
+func (r *Ring) At(i int) Point {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("series: At(%d) of %d", i, r.n))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Last reports the newest sample, the gauge view of the series.
+func (r *Ring) Last() (Point, bool) {
+	if r.n == 0 {
+		return Point{}, false
+	}
+	return r.At(r.n - 1), true
+}
+
+// Points returns the buffered samples oldest-first as a fresh slice.
+func (r *Ring) Points() []Point {
+	out := make([]Point, r.n)
+	for i := range out {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+// Values returns the buffered sample values oldest-first.
+func (r *Ring) Values() []float64 {
+	out := make([]float64, r.n)
+	for i := range out {
+		out[i] = r.At(i).V
+	}
+	return out
+}
+
+// Since returns the samples with T >= t, oldest first.
+func (r *Ring) Since(t float64) []Point {
+	var out []Point
+	for i := 0; i < r.n; i++ {
+		if p := r.At(i); p.T >= t {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Rate interprets the series as a monotonic counter and reports the
+// growth rate (delta value / delta time) over the trailing window
+// seconds, using the oldest in-window sample and the newest one. It
+// reports 0 with fewer than two in-window samples or a non-advancing
+// clock — a counter that isn't moving has rate zero, not NaN.
+func (r *Ring) Rate(window float64) float64 {
+	last, ok := r.Last()
+	if !ok {
+		return 0
+	}
+	pts := r.Since(last.T - window)
+	if len(pts) < 2 {
+		return 0
+	}
+	first := pts[0]
+	if last.T <= first.T {
+		return 0
+	}
+	return (last.V - first.V) / (last.T - first.T)
+}
+
+// Mean reports the mean of the buffered values (0 when empty).
+func (r *Ring) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < r.n; i++ {
+		s += r.At(i).V
+	}
+	return s / float64(r.n)
+}
+
+// Quantiles summarizes a value set at the dashboard's standard cut
+// points. The zero value means "no samples".
+type Quantiles struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize computes the standard quantile set over xs.
+func Summarize(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	q := Quantiles{
+		N:    len(xs),
+		Mean: stats.Mean(xs),
+		P50:  stats.Percentile(xs, 50),
+		P90:  stats.Percentile(xs, 90),
+		P99:  stats.Percentile(xs, 99),
+	}
+	for _, x := range xs {
+		if x > q.Max {
+			q.Max = x
+		}
+	}
+	return q
+}
+
+// HistogramQuantiles summarizes a histogram at the same cut points,
+// using the interpolated stats.Histogram quantile estimator. This is the
+// merge path: per-rank latency histograms are merged with
+// stats.Histogram.Merge and then summarized fleet-wide.
+func HistogramQuantiles(h *stats.Histogram) Quantiles {
+	if h == nil || h.N() == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		N:    h.N(),
+		Mean: h.Sum() / float64(h.N()),
+		P50:  h.Quantile(0.50),
+		P90:  h.Quantile(0.90),
+		P99:  h.Quantile(0.99),
+		Max:  h.Quantile(1),
+	}
+}

@@ -1,0 +1,157 @@
+package series
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	if _, ok := r.Last(); ok {
+		t.Fatal("empty ring reported a last sample")
+	}
+	for i := 0; i < 5; i++ {
+		r.Push(float64(i), float64(i*10))
+	}
+	if r.Len() != 3 || r.Cap() != 3 {
+		t.Fatalf("len=%d cap=%d, want 3/3", r.Len(), r.Cap())
+	}
+	want := []Point{{2, 20}, {3, 30}, {4, 40}}
+	for i, p := range r.Points() {
+		if p != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+	last, _ := r.Last()
+	if last != (Point{4, 40}) {
+		t.Fatalf("last = %+v", last)
+	}
+	if got := r.Since(3); len(got) != 2 || got[0].T != 3 {
+		t.Fatalf("Since(3) = %+v", got)
+	}
+	if got := r.Values(); len(got) != 3 || got[0] != 20 {
+		t.Fatalf("Values = %v", got)
+	}
+}
+
+// TestRingRate checks the counter-delta-to-rate view: a counter growing
+// 100/s sampled every 0.5s must report 100/s over any window, and a
+// window narrower than two samples reports 0.
+func TestRingRate(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i <= 10; i++ {
+		ts := float64(i) * 0.5
+		r.Push(ts, 100*ts)
+	}
+	if got := r.Rate(2); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("Rate(2) = %g, want 100", got)
+	}
+	if got := r.Rate(5000); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("Rate(inf) = %g, want 100", got)
+	}
+	if got := r.Rate(0.1); got != 0 {
+		t.Fatalf("Rate(0.1) = %g, want 0 (single in-window sample)", got)
+	}
+	one := NewRing(4)
+	one.Push(1, 1)
+	if got := one.Rate(10); got != 0 {
+		t.Fatalf("single-sample rate = %g, want 0", got)
+	}
+	flat := NewRing(4)
+	flat.Push(1, 7)
+	flat.Push(1, 9) // non-advancing clock
+	if got := flat.Rate(10); got != 0 {
+		t.Fatalf("zero-dt rate = %g, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if q := Summarize(nil); q.N != 0 {
+		t.Fatalf("empty Summarize = %+v", q)
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	q := Summarize(xs)
+	if q.N != 100 || math.Abs(q.Mean-50.5) > 1e-9 || q.Max != 100 {
+		t.Fatalf("Summarize = %+v", q)
+	}
+	if q.P50 < 50 || q.P50 > 51 || q.P90 < 90 || q.P90 > 91 || q.P99 < 99 || q.P99 > 100 {
+		t.Fatalf("quantiles = %+v", q)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	if q := HistogramQuantiles(nil); q.N != 0 {
+		t.Fatalf("nil histogram = %+v", q)
+	}
+	h := stats.NewHistogram(0, 1, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%100) / 100)
+	}
+	q := HistogramQuantiles(h)
+	if q.N != 1000 || math.Abs(q.P50-0.5) > 0.02 || math.Abs(q.P99-0.99) > 0.02 {
+		t.Fatalf("HistogramQuantiles = %+v", q)
+	}
+}
+
+// TestDetector drives the detector through warm-up, a genuine slowdown
+// excursion, and adaptation: the breaking sample alarms, the sustained
+// plateau stops alarming once the window absorbs it.
+func TestDetector(t *testing.T) {
+	d := NewDetector(16)
+	// Warm-up: no verdicts while fewer than MinSamples baselines exist,
+	// even for a wild value.
+	if _, ok := d.Observe(0, 100); ok {
+		t.Fatal("alarm during warm-up")
+	}
+	for i := 1; i < DefaultMinSamples; i++ {
+		d.Observe(float64(i), 1+0.01*float64(i%3))
+	}
+	// Rebuild with a clean baseline (the 100 above poisons the mean).
+	d = NewDetector(16)
+	for i := 0; i < 12; i++ {
+		if _, ok := d.Observe(float64(i), 1+0.01*float64(i%3)); ok {
+			t.Fatalf("false alarm on baseline sample %d", i)
+		}
+	}
+	an, ok := d.Observe(12, 8) // 8x slowdown
+	if !ok {
+		t.Fatal("8x excursion not detected")
+	}
+	if an.Z < DefaultZ || an.Value != 8 || an.T != 12 {
+		t.Fatalf("anomaly = %+v", an)
+	}
+	// Sustained plateau: after the window fills with the new level, the
+	// same value must stop alarming.
+	alarms := 0
+	for i := 13; i < 60; i++ {
+		if _, ok := d.Observe(float64(i), 8); ok {
+			alarms++
+		}
+	}
+	if alarms > 4 {
+		t.Fatalf("plateau kept alarming %d times", alarms)
+	}
+	if _, ok := d.Observe(60, 8); ok {
+		t.Fatal("fully absorbed plateau still alarming")
+	}
+}
+
+// TestDetectorMinFactor pins the noise floor: a tiny-variance series
+// excursion below MinFactor*mean must not alarm even at a huge z-score.
+func TestDetectorMinFactor(t *testing.T) {
+	d := NewDetector(16)
+	for i := 0; i < 12; i++ {
+		d.Observe(float64(i), 1+1e-6*float64(i%2))
+	}
+	if _, ok := d.Observe(12, 1.01); ok { // z astronomic, factor 1.01
+		t.Fatal("noise-floor excursion alarmed")
+	}
+	if _, ok := d.Observe(13, 2); !ok {
+		t.Fatal("2x excursion suppressed")
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramQuantileUniform checks the interpolated quantiles of a
+// dense uniform sample against the exact distribution quantiles: with
+// 100k uniform samples on [0,1) and 100 bins, every estimate must land
+// within one bin width of the truth.
+func TestHistogramQuantileUniform(t *testing.T) {
+	h := NewHistogram(0, 1, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Add(rng.Float64())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if math.Abs(got-q) > 0.01 {
+			t.Errorf("uniform Quantile(%g) = %g, want within 0.01", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileExponential checks against the closed-form
+// exponential quantile function -ln(1-q), the shape of real latency
+// tails.
+func TestHistogramQuantileExponential(t *testing.T) {
+	h := NewHistogram(0, 10, 400)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200000; i++ {
+		h.Add(rng.ExpFloat64())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := -math.Log(1 - q)
+		got := h.Quantile(q)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("exp Quantile(%g) = %g, want %g ±0.05", q, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantileEdges pins the degenerate cases: no samples,
+// all mass under/over the range, and a single-bin point mass.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %g, want 0", got)
+	}
+	h.Add(-5)
+	h.Add(-5)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("all-under Quantile(0.5) = %g, want Lo", got)
+	}
+	h2 := NewHistogram(0, 1, 10)
+	h2.Add(7)
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("all-over Quantile(0.5) = %g, want Hi", got)
+	}
+	h3 := NewHistogram(0, 1, 10)
+	for i := 0; i < 8; i++ {
+		h3.Add(0.55) // bin 5: [0.5, 0.6)
+	}
+	if got := h3.Quantile(0.5); got < 0.5 || got > 0.6 {
+		t.Errorf("point-mass Quantile(0.5) = %g, want inside [0.5, 0.6)", got)
+	}
+}
+
+// TestHistogramMerge checks that merging two histograms reproduces the
+// histogram of the concatenated sample, and that a shape mismatch is an
+// error rather than a corrupt merge.
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 1, 20)
+	b := NewHistogram(0, 1, 20)
+	all := NewHistogram(0, 1, 20)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*1.2 - 0.1 // some under, some over
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != all.N() || a.Under != all.Under || a.Over != all.Over {
+		t.Fatalf("merge totals n=%d under=%d over=%d, want n=%d under=%d over=%d",
+			a.N(), a.Under, a.Over, all.N(), all.Under, all.Over)
+	}
+	if math.Abs(a.Sum()-all.Sum()) > 1e-9 {
+		t.Fatalf("merge sum %g, want %g", a.Sum(), all.Sum())
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != all.Counts[i] {
+			t.Fatalf("bin %d: merged %d, want %d", i, a.Counts[i], all.Counts[i])
+		}
+	}
+	if err := a.Merge(NewHistogram(0, 2, 20)); err == nil {
+		t.Fatal("merge of mismatched shapes succeeded")
+	}
+	if err := a.Merge(NewHistogram(0, 1, 10)); err == nil {
+		t.Fatal("merge of mismatched bin counts succeeded")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge of nil: %v", err)
+	}
+}

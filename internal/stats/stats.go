@@ -124,6 +124,7 @@ type Histogram struct {
 	Counts      []int
 	Under, Over int
 	n           int
+	sum         float64
 }
 
 // NewHistogram creates a histogram with bins equal-width bins over
@@ -138,6 +139,7 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 // Add incorporates x.
 func (h *Histogram) Add(x float64) {
 	h.n++
+	h.sum += x
 	switch {
 	case x < h.Lo:
 		h.Under++
@@ -167,4 +169,64 @@ func (h *Histogram) Fraction(i int) float64 {
 		return 0
 	}
 	return float64(h.Counts[i]) / float64(h.n)
+}
+
+// Sum reports the sum of all samples added, including out-of-range ones.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Merge folds o into h. The histograms must share the same shape (range
+// and bin count) — per-rank latency histograms merged fleet-wide all come
+// from the same registry declaration, so a shape mismatch is a caller
+// bug, reported as an error rather than silently misbinned.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("stats: merge shape mismatch: [%g,%g)x%d vs [%g,%g)x%d",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	h.n += o.n
+	h.sum += o.sum
+	return nil
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bin containing the target rank. Mass in Under
+// clamps to Lo and mass in Over clamps to Hi — the histogram cannot know
+// how far outside the range those samples fell, so the estimate is a
+// bound, not an extrapolation. With no samples it reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile out of range: %g", q))
+	}
+	if h.n == 0 {
+		return 0
+	}
+	// Target rank among all n samples, ordered Under, bins, Over.
+	rank := q * float64(h.n)
+	if rank <= float64(h.Under) && h.Under > 0 {
+		return h.Lo
+	}
+	cum := float64(h.Under)
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			// Interpolate within bin i by the fraction of its count below
+			// the target rank.
+			frac := (rank - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*w
+		}
+		cum = next
+	}
+	return h.Hi
 }

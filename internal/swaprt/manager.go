@@ -43,11 +43,16 @@ type Decider interface {
 }
 
 // ReportMsg is one asynchronous performance measurement pushed by a swap
-// handler between swap points.
+// handler between swap points. Telemetry, when the runtime has a hub
+// enabled, piggybacks the rank's windowed telemetry snapshot on the same
+// message — the JSON wire format extends compatibly, so managers without
+// telemetry simply ignore the field (and old-format reports decode with
+// it nil).
 type ReportMsg struct {
-	Rank int     `json:"rank"`
-	Now  float64 `json:"now"`
-	Rate float64 `json:"rate"`
+	Rank      int            `json:"rank"`
+	Now       float64        `json:"now"`
+	Rate      float64        `json:"rate"`
+	Telemetry *RankTelemetry `json:"telemetry,omitempty"`
 }
 
 // Reporter receives asynchronous measurements. Deciders that keep

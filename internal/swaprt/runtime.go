@@ -84,6 +84,12 @@ type Config struct {
 	// MPI operations trace too. Nil (the default) records nothing; a set
 	// but disabled tracer costs one atomic load per emit site.
 	Tracer *obs.Tracer
+	// Telemetry, when set, receives live windowed telemetry (iteration
+	// times with slowdown detection, probe rates, decision paybacks,
+	// quarantine and epoch state) and piggybacks per-rank snapshots on the
+	// swap handlers' periodic reports. Nil (the default) records nothing;
+	// a set but disabled hub costs one atomic load per observation.
+	Telemetry *TelemetryHub
 }
 
 func (c Config) fill() Config {
@@ -294,6 +300,7 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 	if cfg.Tracer != nil {
 		world.SetTracer(cfg.Tracer)
 	}
+	cfg.Telemetry.AttachTracer(cfg.Tracer)
 
 	rc := newRunCounters(world.Metrics())
 
@@ -317,6 +324,7 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 	for i := range initial {
 		initial[i] = i
 	}
+	cfg.Telemetry.ObserveEpoch(0, initial)
 	err := world.Run(func(r *mpi.Rank) error {
 		s := &Session{
 			r:           r,
@@ -534,6 +542,7 @@ func (s *Session) swapPointActive() error {
 	s.encCache = nil // state may have changed since the last swap point
 	s.stats.swapPoints.Inc()
 	s.tr.EmitNow(obs.Event{Kind: obs.KindIterEnd, Rank: s.r.Rank(), Value: iterTime})
+	s.cfg.Telemetry.ObserveIteration(s.r.Rank(), now, iterTime)
 
 	// Measurement report: every active rank probes its own host; the
 	// vector is allgathered so the leader can decide and every member
@@ -559,6 +568,7 @@ func (s *Session) swapPointActive() error {
 		}
 		s.stats.decisions.Inc()
 		s.stats.decideNS.Add(uint64(decideDur))
+		s.cfg.Telemetry.ObserveDecision(now, resp.Eval, len(resp.Swaps), decideDur.Seconds())
 		if s.tr.Enabled() {
 			ev := obs.Event{Kind: obs.KindSwapDecision, Rank: s.r.Rank(), T: t0,
 				Dur: s.tr.Now() - t0, IterTime: iterTime, SwapTime: swapTime,
@@ -678,14 +688,18 @@ func (s *Session) swapPointActive() error {
 	// every aborted one (it was proposed, assigned and failed to complete
 	// the transfer — offering it again would just re-abort).
 	if s.comm.Rank() == 0 {
+		s.cfg.Telemetry.ObserveEpoch(newEpoch, newSet)
 		for i, sw := range plan.Swaps {
 			if committed[i] {
 				s.stats.swaps.Inc()
+				s.cfg.Telemetry.ObserveSwap()
 				continue
 			}
 			s.stats.swapAborts.Inc()
 			s.stats.quarantined.Inc()
 			s.mgr.quarantine(sw.In)
+			s.cfg.Telemetry.ObserveAbort()
+			s.cfg.Telemetry.ObserveQuarantine(sw.In)
 			s.tr.EmitNow(obs.Event{Kind: obs.KindQuarantine, Rank: s.r.Rank(), Peer: sw.In,
 				Detail: fmt.Sprintf("swap %d->%d aborted", sw.Out, sw.In)})
 			s.cfg.Logf("rank %d quarantined after failed swap-in (rank %d keeps running)",
@@ -810,6 +824,8 @@ func handlerLoop(rank int, cfg Config, rep Reporter, rc *runCounters, stop <-cha
 			return
 		case <-t.C:
 			msg := ReportMsg{Rank: rank, Now: cfg.Clock(), Rate: cfg.Probe(rank)}
+			cfg.Telemetry.ObserveProbe(rank, msg.Now, msg.Rate)
+			msg.Telemetry = cfg.Telemetry.RankSnapshot(rank)
 			if err := rep.Report(msg); err != nil {
 				rc.handlerReportErrors.Inc()
 				cfg.Tracer.EmitNow(obs.Event{Kind: obs.KindHandlerProbe, Rank: rank,
