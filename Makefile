@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke clean
+.PHONY: all build vet lint test race bench bench-transport figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke clean
 
 all: build vet lint test
 
@@ -26,10 +26,25 @@ test: race
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/mpi/ ./internal/swaprt/ ./internal/apps/ ./internal/experiment/
+	$(GO) test -race ./internal/mpi/ ./internal/mpi/wire/ ./internal/swaprt/ ./internal/apps/ ./internal/experiment/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Zero-allocation gate on the TCP send hot path (DESIGN.md §15): the
+# binary-codec benchmark must report exactly 0 allocs/op, or the pooled
+# wire encoder has regressed into per-send garbage. The awk gate matches
+# the name with or without the GOMAXPROCS suffix (-N) and also fails if
+# the benchmark never ran (compile error, -run filter typo).
+bench-transport:
+	$(GO) test -run '^$$' -bench '^BenchmarkTCPSendDistinctRanks$$' \
+		-benchmem -benchtime 5000x -count 3 . | tee /tmp/bench-transport.txt
+	@awk ' \
+		$$1 ~ /^BenchmarkTCPSendDistinctRanks(-[0-9]+)?$$/ { ran++; \
+			if ($$7+0 != 0) { print "FAIL: " $$7 " allocs/op on the send hot path (want 0)"; bad=1 } } \
+		END { if (!ran) { print "FAIL: benchmark did not run"; exit 1 }; exit bad } \
+	' /tmp/bench-transport.txt
+	@echo "bench-transport: 0 allocs/op held"
 
 # Regenerate every figure / ablation / extension into results/ as CSV.
 figures:
@@ -102,6 +117,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseTraceCSV -fuzztime 30s ./internal/loadgen/
 	$(GO) test -fuzz FuzzUnpackParts -fuzztime 30s ./internal/mpi/
 	$(GO) test -fuzz FuzzUnpackFloats -fuzztime 30s ./internal/mpi/
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/mpi/wire/
 
 # clean removes generated result files only. It must not touch the Go
 # build/test caches (or anything under ~/.cache): CI restores and reuses

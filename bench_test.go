@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/loadgen"
 	"repro/internal/mpi"
+	"repro/internal/mpi/wire"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/rng"
@@ -273,7 +274,14 @@ func BenchmarkMPIPingPong(b *testing.B) {
 // waits for a full large-message encode; with per-destination
 // connections the two streams are independent.
 func BenchmarkTCPSendDistinctRanks(b *testing.B) {
-	benchTCPSendDistinctRanks(b, nil)
+	benchTCPSendDistinctRanks(b, nil, mpi.CodecBinary)
+}
+
+// BenchmarkTCPSendDistinctRanksGob is the same send path over the
+// fallback gob codec: the delta against the binary benchmark above is
+// the cost the wire package removes from the hot path.
+func BenchmarkTCPSendDistinctRanksGob(b *testing.B) {
+	benchTCPSendDistinctRanks(b, nil, mpi.CodecGob)
 }
 
 // BenchmarkTCPSendDistinctRanksTraced is the same send path with an
@@ -283,11 +291,11 @@ func BenchmarkTCPSendDistinctRanks(b *testing.B) {
 func BenchmarkTCPSendDistinctRanksTraced(b *testing.B) {
 	tr := obs.New(3, obs.WithLimit(1<<16))
 	tr.Enable()
-	benchTCPSendDistinctRanks(b, tr)
+	benchTCPSendDistinctRanks(b, tr, mpi.CodecBinary)
 }
 
-func benchTCPSendDistinctRanks(b *testing.B, tr *obs.Tracer) {
-	w, err := mpi.NewTCPWorld(3)
+func benchTCPSendDistinctRanks(b *testing.B, tr *obs.Tracer, codec wire.Codec) {
+	w, err := mpi.NewWorldWithConfig(mpi.Config{Size: 3, TCP: true, Codec: codec})
 	if err != nil {
 		b.Fatal(err)
 	}

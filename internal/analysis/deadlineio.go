@@ -122,6 +122,14 @@ func (p *Pass) isConnStreamCtor(call *ast.CallExpr) bool {
 		if !strings.HasPrefix(name, "NewReader") && !strings.HasPrefix(name, "NewWriter") {
 			return false
 		}
+	case "repro/internal/mpi/wire":
+		// The transport's framing layer: wire.NewDecoder(conn) reads the
+		// socket, so its Decode calls carry the same deadline obligation
+		// as a gob decoder's. (The wire Encoder serializes to memory — a
+		// flusher writes the conn — so only the decoder is conn-backed.)
+		if name != "NewDecoder" {
+			return false
+		}
 	default:
 		return false
 	}

@@ -134,7 +134,8 @@ func nonBlockingSelects(root ast.Node) map[ast.Node]bool {
 
 // directBlock reports the first blocking operation in the function body
 // (ignoring nested function literals, which run on their own goroutine or
-// call path).
+// call path, and go statements, whose call runs on a fresh goroutine that
+// does not hold the caller's locks).
 func (p *Pass) directBlock(body *ast.BlockStmt) *blockReason {
 	nbSelects := nonBlockingSelects(body)
 	var found *blockReason
@@ -143,6 +144,9 @@ func (p *Pass) directBlock(body *ast.BlockStmt) *blockReason {
 			return false
 		}
 		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if _, isGo := n.(*ast.GoStmt); isGo {
 			return false
 		}
 		if r := p.blockOp(n, nbSelects); r != nil {
@@ -182,12 +186,16 @@ func commOfNonBlockingSelect(n ast.Node, root ast.Node, nbSelects map[ast.Node]b
 	return is
 }
 
-// samePackageCalls lists calls in the body (outside function literals) that
+// samePackageCalls lists calls in the body (outside function literals and
+// go statements — a spawned goroutine does not block its caller) that
 // resolve to functions or methods defined in this package.
 func (p *Pass) samePackageCalls(body *ast.BlockStmt) []*ast.CallExpr {
 	var out []*ast.CallExpr
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if _, isGo := n.(*ast.GoStmt); isGo {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)

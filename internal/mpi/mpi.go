@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mpi/wire"
 	"repro/internal/obs"
 )
 
@@ -37,14 +38,21 @@ var ErrWorldClosed = errors.New("mpi: world closed")
 // receive can still match the message if it eventually arrives.
 var ErrRecvTimeout = errors.New("mpi: receive timed out")
 
-// envelope is one message in flight. Src and Dst are world ranks.
-type envelope struct {
-	Comm uint64
-	Src  int
-	Dst  int
-	Tag  int
-	Data []byte
-}
+// envelope is one message in flight. Src and Dst are world ranks. It is
+// the wire package's Envelope: the TCP transport frames exactly this
+// shape, so the two packages share one definition.
+type envelope = wire.Envelope
+
+// Codec selects the TCP transport's wire encoding (see Config.Codec).
+const (
+	// CodecBinary is the length-prefixed binary framing: zero
+	// allocations on the steady-state send path. The default.
+	CodecBinary = wire.CodecBinary
+	// CodecGob is the original gob stream, kept as a fallback codec.
+	// Gob and binary worlds interoperate: the codec is negotiated per
+	// connection by a one-byte stream preamble.
+	CodecGob = wire.CodecGob
+)
 
 // transport moves envelopes between ranks.
 type transport interface {
@@ -206,11 +214,13 @@ func (w *World) SetTracer(t *obs.Tracer) { w.tracer.Store(t) }
 // is nil-safe to use directly.
 func (w *World) Tracer() *obs.Tracer { return w.tracer.Load() }
 
-// SetSendLatencySampling toggles the TCP transport's per-send latency
-// histogram ("mpi.tcp.send_latency_s"). Off (the default) the send hot
-// path pays one atomic load and nothing else; on, each successful send
-// records its wall duration. No-op on in-process worlds. Safe to call
-// concurrently with running ranks.
+// SetSendLatencySampling toggles the TCP transport's send-latency
+// histogram ("mpi.tcp.send_latency_s"). Off (the default) the flush
+// path pays one atomic load and nothing else; on, each successful
+// socket write of a batch of sends records its wall duration. Dial
+// time — connection setup, retries, backoff — is never charged here;
+// it lands in "mpi.tcp.dial_latency_s" unconditionally. No-op on
+// in-process worlds. Safe to call concurrently with running ranks.
 func (w *World) SetSendLatencySampling(on bool) {
 	tr := w.transport
 	if ft, ok := tr.(*faultTransport); ok {
@@ -232,14 +242,18 @@ func NewWorld(size int) *World {
 }
 
 // NewTCPWorld creates a world of the given size whose ranks exchange
-// messages over TCP loopback sockets. It binds size listeners on
-// 127.0.0.1 ephemeral ports.
+// messages over TCP loopback sockets with the default binary codec. It
+// binds size listeners on 127.0.0.1 ephemeral ports.
 func NewTCPWorld(size int) (*World, error) {
+	return newTCPWorld(size, wire.CodecBinary)
+}
+
+func newTCPWorld(size int, codec wire.Codec) (*World, error) {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: NewTCPWorld(%d)", size))
 	}
 	w := newWorldShell(size)
-	tr, err := newTCPTransport(w)
+	tr, err := newTCPTransport(w, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +294,12 @@ type Config struct {
 	// TCP selects the loopback TCP transport instead of the in-process
 	// one.
 	TCP bool
+	// Codec selects the TCP transport's wire encoding: CodecBinary
+	// (zero means binary, the default) or CodecGob for the fallback gob
+	// stream. Ignored for in-process worlds. Worlds with different
+	// codecs interoperate; each connection's codec is negotiated by its
+	// stream preamble.
+	Codec wire.Codec
 	// Fault, when non-nil, wraps the transport so every send consults the
 	// injector first. Injected faults are counted under "mpi.fault.*" and
 	// emit FaultInject trace events when a tracer is attached.
@@ -293,8 +313,15 @@ func NewWorldWithConfig(cfg Config) (*World, error) {
 		w   *World
 		err error
 	)
+	codec := cfg.Codec
+	if codec == 0 {
+		codec = wire.CodecBinary
+	}
+	if !codec.Valid() {
+		return nil, fmt.Errorf("mpi: unknown codec %q (want CodecBinary or CodecGob)", codec)
+	}
 	if cfg.TCP {
-		w, err = NewTCPWorld(cfg.Size)
+		w, err = newTCPWorld(cfg.Size, codec)
 	} else {
 		w = NewWorld(cfg.Size)
 	}
@@ -385,6 +412,10 @@ func (t *inprocTransport) send(env envelope) error {
 	if env.Dst < 0 || env.Dst >= t.w.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", env.Dst)
 	}
+	// The transport owns the copy (Comm.send no longer makes one): the
+	// TCP path serializes into its pending buffer before returning, so
+	// only the direct-push path must detach from the caller's slice.
+	env.Data = append([]byte(nil), env.Data...)
 	t.w.boxes[env.Dst].push(env)
 	return nil
 }

@@ -71,7 +71,9 @@ type RankStats struct {
 	Gathers   uint64
 	Reduces   uint64
 	// SendBlock is the total time this rank's sends spent inside the
-	// transport (lock wait + encode + socket write for TCP; mailbox push
+	// transport (lock wait + encode into the pending buffer for TCP —
+	// the socket write happens on the connection's flusher goroutine
+	// and is visible in "mpi.tcp.send_latency_s" instead; mailbox push
 	// for the in-process transport).
 	SendBlock time.Duration
 }

@@ -1,13 +1,13 @@
 package mpi
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mpi/wire"
 	"repro/internal/obs"
 )
 
@@ -19,6 +19,12 @@ const (
 	tcpDialAttempts = 3
 	tcpDialBackoff  = 10 * time.Millisecond // doubles per retry
 	tcpWriteTimeout = 10 * time.Second
+
+	// tcpMaxPending bounds the bytes buffered on one destination before
+	// senders block waiting for the flusher to drain. A single frame
+	// larger than the bound (a checkpoint transfer) is still accepted
+	// once the queue is empty, so oversized messages pass through.
+	tcpMaxPending = 256 << 10
 )
 
 // tcpConn is the sender side of one destination rank's connection. Each
@@ -26,25 +32,55 @@ const (
 // parallel and a send blocked on one peer (slow reader, dead host) never
 // delays traffic to any other peer. The connection is dialed lazily by
 // the first send that needs it.
+//
+// Sends do not write the socket: they append frames to the encoder's
+// pending buffer under mu and signal wake. A per-connection flusher
+// goroutine swaps the buffer out and writes it with no lock held, so one
+// syscall drains whatever batch accumulated while the previous write was
+// in flight, and a blocked write never holds mu (the seed's deadlock
+// class). err is the connection's sticky poison: set by a failed flush
+// or by close(), observed by the next sender, which resets the slot so
+// the send after it re-dials.
 type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+	mu    sync.Mutex
+	wake  *sync.Cond // signals the flusher: bytes pending or poisoned
+	drain *sync.Cond // signals backpressured senders: buffer drained or poisoned
+	c     net.Conn
+	enc   *wire.Encoder
+	err   error
+}
+
+func newTCPConn() *tcpConn {
+	cc := &tcpConn{}
+	cc.wake = sync.NewCond(&cc.mu)
+	cc.drain = sync.NewCond(&cc.mu)
+	return cc
+}
+
+// reset clears a poisoned slot so the next send re-dials. Caller holds
+// cc.mu and must close the old connection (if any) after releasing it.
+func (cc *tcpConn) reset() {
+	if cc.enc != nil {
+		cc.enc.Close()
+	}
+	cc.c, cc.enc, cc.err = nil, nil, nil
 }
 
 // tcpTransport carries envelopes over a loopback TCP mesh: one listener
 // per rank, a lazily dialed per-destination connection on the sender
 // side, and one reader goroutine per accepted connection. Each
-// connection is a one-directional gob stream of envelopes.
+// connection is a one-directional stream of envelopes framed by the
+// wire package: a one-byte codec preamble ('B' binary, 'G' gob), then
+// frames in that codec, so mixed-codec meshes interoperate.
 //
-// Locking: per-destination tcpConn.mu serializes sends to that rank
+// Locking: per-destination tcpConn.mu serializes enqueues to that rank
 // only; tcpTransport.mu guards the shutdown flag and the socket
-// registry. The accept/read path never takes a tcpConn.mu, so a sender
-// blocked mid-write cannot stall connection setup (the seed design had a
-// single global lock, which deadlocked as soon as a sender filled a
-// socket buffer before the peer's read loop was registered).
+// registry (lock order: tcpConn.mu then tcpTransport.mu, never the
+// reverse). The accept/read path never takes a tcpConn.mu, and socket
+// writes happen on flusher goroutines with no lock held.
 type tcpTransport struct {
 	w         *World
+	codec     wire.Codec
 	listeners []net.Listener
 	addrs     []string
 	conns     []*tcpConn // indexed by destination rank
@@ -58,10 +94,16 @@ type tcpTransport struct {
 	sendErrors *obs.Counter
 
 	// Send-latency sampling ("mpi.tcp.send_latency_s"): off by default
-	// and gated by one atomic load per send, so the hot path pays no
+	// and gated by one atomic load per flush, so the hot path pays no
 	// clock readings or histogram locking unless telemetry asked for it.
+	// Samples time established-connection socket writes only; dial cost
+	// (up to attempts x timeout plus backoff on a dead peer) is recorded
+	// separately and unconditionally in "mpi.tcp.dial_latency_s", so a
+	// lazy first-send dial can never corrupt the send-latency p99 the
+	// anomaly detector replays.
 	latOn   atomic.Bool
 	sendLat *obs.LockedHistogram
+	dialLat *obs.LockedHistogram
 
 	mu    sync.Mutex // guards socks and done
 	socks map[net.Conn]struct{}
@@ -69,9 +111,10 @@ type tcpTransport struct {
 	wg    sync.WaitGroup
 }
 
-func newTCPTransport(w *World) (*tcpTransport, error) {
+func newTCPTransport(w *World, codec wire.Codec) (*tcpTransport, error) {
 	t := &tcpTransport{
 		w:          w,
+		codec:      codec,
 		socks:      map[net.Conn]struct{}{},
 		dials:      w.metrics.Counter("mpi.tcp.dials"),
 		dialRetry:  w.metrics.Counter("mpi.tcp.dial_retries"),
@@ -81,10 +124,13 @@ func newTCPTransport(w *World) (*tcpTransport, error) {
 		// resolves the healthy distribution with room for stalls (anything
 		// slower lands in the overflow and still shows in the quantiles).
 		sendLat: w.metrics.Histogram("mpi.tcp.send_latency_s", 0, 0.010, 50),
+		// Dials span 10ms backoffs to seconds of timeout; 0–10 s covers
+		// the full bounded-retry schedule.
+		dialLat: w.metrics.Histogram("mpi.tcp.dial_latency_s", 0, 10.0, 50),
 	}
 	t.conns = make([]*tcpConn, w.size)
 	for i := range t.conns {
-		t.conns[i] = &tcpConn{}
+		t.conns[i] = newTCPConn()
 	}
 	for i := 0; i < w.size; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -153,7 +199,7 @@ func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
 	defer t.wg.Done()
 	defer t.deregister(conn)
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	dec := wire.NewDecoder(conn)
 	for {
 		var env envelope
 		// A reader waits for the next message for as long as the peer
@@ -168,15 +214,27 @@ func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
 }
 
 // dial connects to the destination rank with a bounded number of
-// attempts. The returned connection is registered for shutdown.
+// attempts, bailing out early if the transport closes mid-schedule so a
+// retry storm against a dead rank cannot outlive close(). The returned
+// connection is registered for shutdown. Total dial duration — timeouts
+// and backoff sleeps included — lands in "mpi.tcp.dial_latency_s",
+// never in the send-latency histogram.
 func (t *tcpTransport) dial(dst int) (net.Conn, error) {
+	start := time.Now()
+	defer func() { t.dialLat.Add(time.Since(start).Seconds()) }()
 	backoff := tcpDialBackoff
 	var lastErr error
 	for attempt := 0; attempt < tcpDialAttempts; attempt++ {
 		if attempt > 0 {
+			if t.closed() {
+				return nil, ErrWorldClosed
+			}
 			t.dialRetry.Inc()
 			time.Sleep(backoff)
 			backoff *= 2
+			if t.closed() {
+				return nil, ErrWorldClosed
+			}
 		}
 		conn, err := net.DialTimeout("tcp", t.addrs[dst], tcpDialTimeout)
 		if err != nil {
@@ -197,57 +255,174 @@ func (t *tcpTransport) send(env envelope) error {
 	if env.Dst < 0 || env.Dst >= t.w.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", env.Dst)
 	}
-	// Latency sampling branches out wholesale so the common (sampling
-	// off) path pays exactly one atomic load — no timer locals, no
-	// post-send check.
-	if t.latOn.Load() {
-		start := time.Now()
-		err := t.sendConn(env)
-		if err == nil {
-			t.sendLat.Add(time.Since(start).Seconds())
-		}
-		return err
-	}
 	return t.sendConn(env)
 }
 
-// sendConn delivers one envelope over the destination's connection,
-// dialing it first if needed.
+// sendConn enqueues one envelope on the destination's connection,
+// dialing it first if needed. The envelope's bytes are copied into the
+// encoder's pending buffer before return, so the caller may reuse its
+// data slice; the connection's flusher writes the batch to the socket.
 func (t *tcpTransport) sendConn(env envelope) error {
 	cc := t.conns[env.Dst]
 	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if t.closed() {
-		return ErrWorldClosed
+	for {
+		if cc.err != nil {
+			err := cc.err
+			conn := cc.c
+			cc.reset()
+			cc.mu.Unlock()
+			if conn != nil {
+				// Poisoned by an encode failure or a close() that raced a
+				// live connection: the flusher that owned it has exited (or
+				// never ran), so the socket is ours to drop.
+				t.deregister(conn)
+				_ = conn.Close()
+			}
+			if err == ErrWorldClosed || t.closed() {
+				return ErrWorldClosed
+			}
+			return fmt.Errorf("mpi: send to rank %d: %w", env.Dst, err)
+		}
+		if cc.c == nil {
+			// Dial with cc.mu released: a retry storm against a dead rank
+			// must not serialize queued senders behind the full backoff
+			// schedule, and close() must be able to fail them promptly.
+			cc.mu.Unlock()
+			if t.closed() {
+				return ErrWorldClosed
+			}
+			conn, err := t.dial(env.Dst)
+			if err != nil {
+				return err
+			}
+			cc.mu.Lock()
+			if cc.c != nil || cc.err != nil {
+				// Lost the dial race (or the slot got poisoned meanwhile):
+				// fold the extra connection away and re-evaluate.
+				cc.mu.Unlock()
+				t.deregister(conn)
+				_ = conn.Close()
+				cc.mu.Lock()
+				continue
+			}
+			cc.c = conn
+			cc.enc = wire.NewEncoder(t.codec)
+			if !t.startFlusher(cc, conn, cc.enc) {
+				// close() won the race after register: surface shutdown.
+				cc.reset()
+				cc.mu.Unlock()
+				t.deregister(conn)
+				_ = conn.Close()
+				return ErrWorldClosed
+			}
+			continue
+		}
+		if cc.enc.PendingLen() >= tcpMaxPending {
+			cc.drain.Wait()
+			continue
+		}
+		if err := cc.enc.Encode(&env); err != nil {
+			// The stream is now unframeable; poison it so the flusher
+			// exits and the next send re-dials.
+			cc.err = err
+			cc.wake.Signal()
+			cc.drain.Broadcast()
+			cc.mu.Unlock()
+			t.sendErrors.Inc()
+			return fmt.Errorf("mpi: send to rank %d: encode: %w", env.Dst, err)
+		}
+		cc.wake.Signal()
+		cc.mu.Unlock()
+		return nil
 	}
-	if cc.c == nil {
-		conn, err := t.dial(env.Dst)
+}
+
+// startFlusher launches the connection's single writer, registered with
+// the shutdown WaitGroup. It reports false if the transport already
+// closed (close() may be past its wg.Wait; adding would race).
+func (t *tcpTransport) startFlusher(cc *tcpConn, conn net.Conn, enc *wire.Encoder) bool {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return false
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.flushLoop(cc, conn, enc)
+	return true
+}
+
+// flushLoop is the connection's only socket writer: it swaps the pending
+// buffer out under cc.mu, then writes it with no lock held, so however
+// many sends accumulated while the previous write was in flight drain in
+// one syscall. On write failure it poisons the slot and drops the
+// connection; on close() it observes cc.err and exits. enc is captured
+// (not re-read from cc) so a sender resetting the slot mid-write cannot
+// swap the encoder under us — a superseded flusher notices cc.enc moved
+// on and exits.
+func (t *tcpTransport) flushLoop(cc *tcpConn, conn net.Conn, enc *wire.Encoder) {
+	defer t.wg.Done()
+	cc.mu.Lock()
+	for {
+		for cc.err == nil && cc.enc == enc && enc.PendingLen() == 0 {
+			cc.wake.Wait()
+		}
+		if cc.err != nil || cc.enc != enc {
+			cc.mu.Unlock()
+			return
+		}
+		buf := enc.Take()
+		cc.mu.Unlock()
+
+		_ = conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+		sample := t.latOn.Load()
+		var start time.Time
+		if sample {
+			start = time.Now()
+		}
+		_, err := conn.Write(buf)
+		if err == nil && sample {
+			t.sendLat.Add(time.Since(start).Seconds())
+		}
+
+		cc.mu.Lock()
+		enc.Recycle(buf)
 		if err != nil {
-			return err
+			t.sendErrors.Inc()
+			// Frames buffered after the failed batch are lost with the
+			// connection — the same contract as bytes buffered in a dead
+			// kernel socket; senders that need delivery guarantees layer
+			// acks (the swap protocol's commit barrier does).
+			if cc.err == nil {
+				if t.closedLocked() {
+					cc.err = ErrWorldClosed
+				} else {
+					cc.err = fmt.Errorf("write: %w", err)
+				}
+			}
+			cc.wake.Broadcast()
+			cc.drain.Broadcast()
+			cc.mu.Unlock()
+			t.deregister(conn)
+			_ = conn.Close()
+			return
 		}
-		cc.c = conn
-		cc.enc = gob.NewEncoder(conn)
+		cc.drain.Broadcast()
 	}
-	_ = cc.c.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
-	if err := cc.enc.Encode(env); err != nil {
-		// A failed write poisons the gob stream; drop the connection so
-		// the next send to this rank re-dials instead of inheriting it.
-		t.sendErrors.Inc()
-		t.deregister(cc.c)
-		_ = cc.c.Close()
-		cc.c, cc.enc = nil, nil
-		if t.closed() {
-			return ErrWorldClosed
-		}
-		return fmt.Errorf("mpi: send to rank %d: %w", env.Dst, err)
-	}
-	return nil
+}
+
+// closedLocked is closed() for callers already holding a tcpConn.mu:
+// same lock order (tcpConn.mu then tcpTransport.mu).
+func (t *tcpTransport) closedLocked() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
 }
 
 // close shuts the transport down deterministically: after it returns, no
-// accept or read goroutine is running and every socket is closed. A
-// sender blocked in a write is unblocked by its socket closing and
-// returns ErrWorldClosed.
+// accept, read or flusher goroutine is running and every socket is
+// closed. A sender blocked in backpressure or mid-dial is unblocked and
+// returns ErrWorldClosed without waiting out the dial backoff schedule.
 func (t *tcpTransport) close() error {
 	t.mu.Lock()
 	if t.done {
@@ -262,6 +437,18 @@ func (t *tcpTransport) close() error {
 		_ = c.Close()
 	}
 	t.mu.Unlock()
+	// Poison every sender slot: flushers wake, observe the poison and
+	// exit (their sockets are already closed); backpressured senders
+	// wake and fail with ErrWorldClosed.
+	for _, cc := range t.conns {
+		cc.mu.Lock()
+		if cc.err == nil {
+			cc.err = ErrWorldClosed
+		}
+		cc.wake.Broadcast()
+		cc.drain.Broadcast()
+		cc.mu.Unlock()
+	}
 	t.wg.Wait()
 	return nil
 }

@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestGoldenBinaryFrame pins the binary stream layout byte for byte:
+// preamble 'B', then [u32 len][u64 comm][u32 src][u32 dst][u32 tag]
+// big-endian, then the payload. A change here is a wire-format break.
+func TestGoldenBinaryFrame(t *testing.T) {
+	enc := NewEncoder(CodecBinary)
+	defer enc.Close()
+	env := Envelope{Comm: 0x0102030405060708, Src: 1, Dst: 2, Tag: 7, Data: []byte("hi")}
+	if err := enc.Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'B',                    // stream preamble
+		0x00, 0x00, 0x00, 0x02, // payload length 2
+		0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // comm
+		0x00, 0x00, 0x00, 0x01, // src
+		0x00, 0x00, 0x00, 0x02, // dst
+		0x00, 0x00, 0x00, 0x07, // tag
+		'h', 'i',
+	}
+	got := enc.Take()
+	defer enc.Recycle(got)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frame bytes\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestGoldenNegativeInts pins the two's-complement encoding of negative
+// Src/Dst/Tag (internal collective tags are negative).
+func TestGoldenNegativeInts(t *testing.T) {
+	env := Envelope{Src: -1, Dst: -2, Tag: -7}
+	frame := AppendFrame(nil, &env)
+	if got := binary.BigEndian.Uint32(frame[12:16]); got != 0xFFFFFFFF {
+		t.Errorf("src -1 encoded as %#x", got)
+	}
+	if got := binary.BigEndian.Uint32(frame[20:24]); got != 0xFFFFFFF9 {
+		t.Errorf("tag -7 encoded as %#x", got)
+	}
+	var dec Envelope
+	d := NewDecoder(bytes.NewReader(append([]byte{'B'}, frame...)))
+	if err := d.Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Src != -1 || dec.Dst != -2 || dec.Tag != -7 {
+		t.Fatalf("sign extension lost: %+v", dec)
+	}
+}
+
+// roundTripEnvelopes pushes a batch of envelopes through one encoder
+// stream and decodes them back.
+func roundTripEnvelopes(t *testing.T, codec Codec, envs []Envelope) []Envelope {
+	t.Helper()
+	enc := NewEncoder(codec)
+	defer enc.Close()
+	var stream bytes.Buffer
+	for i := range envs {
+		if err := enc.Encode(&envs[i]); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+		// Flush mid-stream sometimes to exercise Take/Recycle reuse.
+		if i%2 == 1 {
+			buf := enc.Take()
+			stream.Write(buf)
+			enc.Recycle(buf)
+		}
+	}
+	buf := enc.Take()
+	stream.Write(buf)
+	enc.Recycle(buf)
+
+	dec := NewDecoder(&stream)
+	var out []Envelope
+	for {
+		var env Envelope
+		err := dec.Decode(&env)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out = append(out, env)
+	}
+	if dec.Codec() != codec {
+		t.Fatalf("negotiated codec %v, want %v", dec.Codec(), codec)
+	}
+	return out
+}
+
+func TestRoundTripBothCodecs(t *testing.T) {
+	envs := []Envelope{
+		{Comm: 0, Src: 0, Dst: 1, Tag: 0, Data: nil},
+		{Comm: 1, Src: 2, Dst: 0, Tag: 99, Data: []byte("payload")},
+		{Comm: ^uint64(0), Src: -1, Dst: 1 << 30, Tag: -7, Data: []byte{0}},
+		{Comm: 42, Src: 3, Dst: 4, Tag: 5, Data: bytes.Repeat([]byte{0xAB}, 100<<10)}, // above slabMax
+		{Comm: 7, Src: 1, Dst: 2, Tag: 3, Data: []byte{}},
+	}
+	for _, codec := range []Codec{CodecBinary, CodecGob} {
+		t.Run(codec.String(), func(t *testing.T) {
+			got := roundTripEnvelopes(t, codec, envs)
+			if len(got) != len(envs) {
+				t.Fatalf("decoded %d envelopes, want %d", len(got), len(envs))
+			}
+			for i := range envs {
+				g, w := got[i], envs[i]
+				if g.Comm != w.Comm || g.Src != w.Src || g.Dst != w.Dst || g.Tag != w.Tag {
+					t.Errorf("envelope %d header: got %+v", i, g)
+				}
+				if !bytes.Equal(g.Data, w.Data) {
+					t.Errorf("envelope %d payload: %d vs %d bytes", i, len(g.Data), len(w.Data))
+				}
+			}
+		})
+	}
+}
+
+// TestDecoderArenaIsolation: small payloads share an arena slab with
+// their capacity clipped, so a receiver appending to one message must
+// not scribble on the next message's bytes.
+func TestDecoderArenaIsolation(t *testing.T) {
+	var stream bytes.Buffer
+	stream.WriteByte('B')
+	a := Envelope{Tag: 1, Data: []byte("aaaa")}
+	b := Envelope{Tag: 2, Data: []byte("bbbb")}
+	stream.Write(AppendFrame(nil, &a))
+	stream.Write(AppendFrame(nil, &b))
+
+	dec := NewDecoder(&stream)
+	var gotA, gotB Envelope
+	if err := dec.Decode(&gotA); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&gotB); err != nil {
+		t.Fatal(err)
+	}
+	_ = append(gotA.Data, 'X', 'X', 'X', 'X') // must copy, not extend into the slab
+	if string(gotB.Data) != "bbbb" {
+		t.Fatalf("append to message A corrupted message B: %q", gotB.Data)
+	}
+}
+
+func TestDecoderUnknownPreamble(t *testing.T) {
+	dec := NewDecoder(strings.NewReader("Zjunk"))
+	var env Envelope
+	err := dec.Decode(&env)
+	if err == nil || !strings.Contains(err.Error(), "unknown codec preamble") {
+		t.Fatalf("err = %v, want unknown-preamble error", err)
+	}
+}
+
+// TestDecoderTruncated cuts a valid stream at every byte boundary: each
+// cut must produce a clean io.EOF (frame boundary) or an error — never a
+// panic, a hang, or a phantom envelope.
+func TestDecoderTruncated(t *testing.T) {
+	env := Envelope{Comm: 9, Src: 1, Dst: 2, Tag: 3, Data: []byte("truncate me")}
+	full := AppendFrame([]byte{'B'}, &env)
+	for cut := 0; cut < len(full); cut++ {
+		dec := NewDecoder(bytes.NewReader(full[:cut]))
+		var got Envelope
+		err := dec.Decode(&got)
+		if err == nil {
+			t.Fatalf("cut at %d decoded an envelope from a truncated stream", cut)
+		}
+	}
+	// The uncut stream decodes, and the next Decode is a clean EOF.
+	dec := NewDecoder(bytes.NewReader(full))
+	var got Envelope
+	if err := dec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&got); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestDecoderOversizedFrame: a header claiming more than MaxPayload must
+// error without attempting the allocation.
+func TestDecoderOversizedFrame(t *testing.T) {
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MaxPayload+1)
+	dec := NewDecoder(bytes.NewReader(append([]byte{'B'}, hdr[:]...)))
+	var env Envelope
+	err := dec.Decode(&env)
+	if err == nil || !strings.Contains(err.Error(), "exceeds MaxPayload") {
+		t.Fatalf("err = %v, want MaxPayload error", err)
+	}
+}
+
+// TestDecoderLyingLengthHeader: a garbage header claiming a huge (but
+// legal) payload over a short stream must error after reading what
+// actually arrived — bounded incremental allocation, not a 1 GiB make.
+func TestDecoderLyingLengthHeader(t *testing.T) {
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MaxPayload) // claims 1 GiB
+	stream := append([]byte{'B'}, hdr[:]...)
+	stream = append(stream, bytes.Repeat([]byte{1}, 1024)...) // only 1 KiB arrives
+	dec := NewDecoder(bytes.NewReader(stream))
+	var env Envelope
+	if err := dec.Decode(&env); err == nil {
+		t.Fatal("lying header decoded successfully")
+	}
+}
+
+func TestEncoderOversizedPayloadRejected(t *testing.T) {
+	enc := NewEncoder(CodecBinary)
+	defer enc.Close()
+	big := Envelope{Data: make([]byte, MaxPayload+1)}
+	if err := enc.Encode(&big); err == nil {
+		t.Fatal("payload above MaxPayload encoded")
+	}
+	if enc.PendingLen() != 1 { // preamble only; the reject left no partial frame
+		t.Fatalf("pending %d bytes after rejected encode", enc.PendingLen())
+	}
+}
+
+// TestEncoderPreambleOncePerStream: the preamble is the first byte of
+// the first flush and never repeats across Take/Recycle cycles.
+func TestEncoderPreambleOncePerStream(t *testing.T) {
+	enc := NewEncoder(CodecBinary)
+	defer enc.Close()
+	env := Envelope{Tag: 1, Data: []byte("x")}
+	if err := enc.Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	first := enc.Take()
+	if first[0] != 'B' {
+		t.Fatalf("first flush starts with %q, want 'B'", first[0])
+	}
+	enc.Recycle(first)
+	if err := enc.Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	second := enc.Take()
+	defer enc.Recycle(second)
+	if len(second) == 0 || second[0] == 'B' && len(second) != headerLen+1 {
+		// The second flush must start directly with a frame header; its
+		// first byte is the payload-length MSB (0 for a 1-byte payload).
+		t.Fatalf("second flush re-sent the preamble: %x", second[:1])
+	}
+	if second[0] != 0 {
+		t.Fatalf("second flush starts with %#x, want frame header", second[0])
+	}
+}

@@ -40,11 +40,16 @@ type storeReply struct {
 // allocation.
 const maxCheckpointBytes = 1 << 30
 
+// defaultStoreConnTimeout bounds one store connection's lifetime when no
+// explicit timeout is configured.
+const defaultStoreConnTimeout = 60 * time.Second
+
 // StoreServer is an in-memory central checkpoint store.
 type StoreServer struct {
-	mu    sync.Mutex
-	blobs map[string][]byte
-	logf  func(string, ...any)
+	mu          sync.Mutex
+	blobs       map[string][]byte
+	logf        func(string, ...any)
+	connTimeout time.Duration
 }
 
 // NewStoreServer creates an empty store. logf may be nil.
@@ -54,6 +59,10 @@ func NewStoreServer(logf func(string, ...any)) *StoreServer {
 	}
 	return &StoreServer{blobs: map[string][]byte{}, logf: logf}
 }
+
+// SetConnTimeout bounds each connection's whole conversation (one
+// operation). <= 0 restores the 60s default. Set before Serve.
+func (s *StoreServer) SetConnTimeout(d time.Duration) { s.connTimeout = d }
 
 // Keys reports the stored keys (for inspection and tests).
 func (s *StoreServer) Keys() int {
@@ -75,7 +84,11 @@ func (s *StoreServer) Serve(ln net.Listener) error {
 
 func (s *StoreServer) serveConn(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
+	timeout := s.connTimeout
+	if timeout <= 0 {
+		timeout = defaultStoreConnTimeout
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
 	dec := json.NewDecoder(conn)
 	var hdr storeHeader
 	if err := dec.Decode(&hdr); err != nil {
@@ -268,6 +281,20 @@ func (c StoreClient) get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("swaprt: store get body: %w", err)
 	}
 	return body, nil
+}
+
+// NewStoreClient returns a checkpoint-store client whose per-operation
+// deadline is the runtime's configured TransferTimeout (with the same
+// <= 0 → 3s default as the swap protocol's transfer legs), so a chaos
+// run with a short transfer budget fails fast on a wedged store instead
+// of waiting out the client's 30s fallback. Retries stay off by
+// default; callers opt in via the returned struct's Attempts field.
+func (c Config) NewStoreClient(addr string) StoreClient {
+	timeout := c.TransferTimeout
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	return StoreClient{Addr: addr, Timeout: timeout}
 }
 
 // CheckpointTo writes the session's registered state to the store under

@@ -4,20 +4,23 @@ import (
 	"bytes"
 	"net"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
 // flakyStore fronts a real StoreServer with an accept loop that kills
-// the next failNext connections before they are served, modeling a
-// store that drops connections under load. conns counts every accepted
+// the next failNext connections before they are served, and wedges the
+// next wedgeNext connections (accepted, then silently held open with no
+// reply — a stuck store, not a dead one). conns counts every accepted
 // connection, served or not.
 type flakyStore struct {
-	addr     string
-	srv      *StoreServer
-	failNext atomic.Int64
-	conns    atomic.Int64
+	addr      string
+	srv       *StoreServer
+	failNext  atomic.Int64
+	wedgeNext atomic.Int64
+	conns     atomic.Int64
 }
 
 func startFlakyStore(t *testing.T) *flakyStore {
@@ -28,6 +31,15 @@ func startFlakyStore(t *testing.T) *flakyStore {
 	}
 	t.Cleanup(func() { _ = ln.Close() })
 	f := &flakyStore{addr: ln.Addr().String(), srv: NewStoreServer(nil)}
+	var wedged []net.Conn
+	var mu sync.Mutex
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range wedged {
+			_ = c.Close()
+		}
+	})
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -37,6 +49,12 @@ func startFlakyStore(t *testing.T) *flakyStore {
 			f.conns.Add(1)
 			if f.failNext.Add(-1) >= 0 {
 				_ = conn.Close()
+				continue
+			}
+			if f.wedgeNext.Add(-1) >= 0 {
+				mu.Lock()
+				wedged = append(wedged, conn)
+				mu.Unlock()
 				continue
 			}
 			go f.srv.serveConn(conn)
@@ -87,6 +105,88 @@ func TestStoreClientRetriesTransportFailures(t *testing.T) {
 				t.Fatalf("blob corrupted through retries: %d vs %d bytes", len(got), len(blob))
 			}
 		})
+	}
+}
+
+// TestStoreClientHonorsConfiguredTransferTimeout is the satellite-3
+// regression: a client built from the runtime Config must arm the
+// configured TransferTimeout on its operations, so a wedged store (it
+// accepts, then never replies) fails within the chaos run's budget
+// instead of the client's 30s fallback or the server's old hardcoded
+// 60s deadline.
+func TestStoreClientHonorsConfiguredTransferTimeout(t *testing.T) {
+	cases := []struct {
+		name    string
+		timeout time.Duration // Config.TransferTimeout; 0 takes the 3s default
+		maxWait time.Duration
+	}{
+		{"short chaos budget", 100 * time.Millisecond, 2 * time.Second},
+		{"medium budget", 300 * time.Millisecond, 2 * time.Second},
+		{"zero takes transfer default", 0, 10 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := startFlakyStore(t)
+			c := Config{TransferTimeout: tc.timeout}.NewStoreClient(f.addr)
+			wantTimeout := tc.timeout
+			if wantTimeout == 0 {
+				wantTimeout = 3 * time.Second // fill()'s TransferTimeout default
+			}
+			if c.Timeout != wantTimeout {
+				t.Fatalf("client timeout %v, want %v", c.Timeout, wantTimeout)
+			}
+
+			f.wedgeNext.Store(1)
+			start := time.Now()
+			err := c.Put("ckpt", []byte("blob"))
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("put against a wedged store succeeded")
+			}
+			if elapsed < wantTimeout/2 {
+				t.Fatalf("put failed after %v, before the %v budget — not a timeout", elapsed, wantTimeout)
+			}
+			if elapsed > tc.maxWait {
+				t.Fatalf("put took %v against a wedged store, want ~%v (configured timeout ignored)",
+					elapsed, wantTimeout)
+			}
+
+			// The store recovers: the same client works once it serves again.
+			if err := c.Put("ckpt", []byte("blob")); err != nil {
+				t.Fatalf("put after store recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreServerConnTimeoutConfigurable pins the server half: a
+// configured connection deadline replaces the hardcoded 60s, so a
+// client that connects and goes silent is shed within the bound.
+func TestStoreServerConnTimeoutConfigurable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	srv := NewStoreServer(nil)
+	srv.SetConnTimeout(100 * time.Millisecond)
+	go func() { _ = srv.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing: the server must close the conversation at its
+	// deadline, observable as this read unblocking.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server replied to an empty conversation")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("silent connection held %v, want ~100ms conn timeout", elapsed)
 	}
 }
 
