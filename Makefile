@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-transport figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke clean
+.PHONY: all build vet lint test race bench bench-transport figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke smoke-timing clean
 
 all: build vet lint test
 
@@ -83,12 +83,17 @@ trace-smoke:
 # result — swaprun exits non-zero on a corrupted accumulator. tracecheck
 # -chaos then requires the quarantine and circuit-recovery evidence in
 # the exported trace.
+#
+# The run rides a 25x scaled clock (DESIGN.md §16): every wait — work
+# spinning, injection delays, retry backoffs, transfer deadlines — is in
+# virtual time, so the timeouts are generous in virtual units (2s per
+# transfer leg) yet cost 1/25th of that on the wall.
 chaos-smoke:
 	mkdir -p results
 	$(GO) run ./cmd/swaprun -ranks 3 -active 1 -iters 25 -work 5 \
 		-inject '0@0.05:8,1@0:4' \
 		-chaos 'seed=7;die:rank=2,iter=3;mgrdown:after=2,count=6' \
-		-transfer-timeout 250ms -trace-out results/trace-chaos.json
+		-transfer-timeout 2s -accel 25 -trace-out results/trace-chaos.json
 	$(GO) run ./cmd/tracecheck -chaos results/trace-chaos.json
 
 # Live-monitoring smoke (DESIGN.md §14): a fault-injected run serves
@@ -97,6 +102,9 @@ chaos-smoke:
 # swap and one detected slowdown anomaly (or times out, failing the
 # build). The chaos plan reuses the chaos-smoke shape so the report also
 # carries quarantine and circuit-breaker state.
+# The 5s-of-virtual-work schedule runs on a 10x scaled clock, so the
+# monitored run lasts well under a second of wall time; swapmon polls
+# every 50ms to catch the telemetry window.
 mon-smoke:
 	mkdir -p results
 	$(GO) build -o results/mon-swaprun ./cmd/swaprun
@@ -104,14 +112,28 @@ mon-smoke:
 	./results/mon-swaprun -ranks 3 -active 1 -iters 1000 -work 5 \
 		-inject '0@0.2:8,1@0:4' \
 		-chaos 'seed=7;die:rank=2,iter=3;mgrdown:after=2,count=6' \
-		-transfer-timeout 250ms \
+		-transfer-timeout 2s -accel 10 \
 		-telemetry -debug-addr 127.0.0.1:7091 & \
 	RUN_PID=$$!; \
-	./results/mon-swapmon -addr 127.0.0.1:7091 -once \
+	./results/mon-swapmon -addr 127.0.0.1:7091 -once -interval 50ms \
 		-min-swaps 1 -min-anomalies 1 -timeout 60s; \
 	STATUS=$$?; \
 	kill $$RUN_PID 2>/dev/null; wait $$RUN_PID 2>/dev/null; \
 	exit $$STATUS
+
+# Wall-clock budget on the accelerated smokes (DESIGN.md §16): the two
+# fault-injected end-to-end gates together must finish inside 30s, so a
+# regression that reintroduces real-time waits anywhere on their path
+# (a bare sleep, an unscaled deadline) fails CI by timing alone.
+smoke-timing:
+	@START=$$(date +%s); \
+	$(MAKE) chaos-smoke mon-smoke; STATUS=$$?; \
+	END=$$(date +%s); ELAPSED=$$((END-START)); \
+	echo "smoke-timing: chaos-smoke + mon-smoke took $${ELAPSED}s (budget 30s)"; \
+	if [ $$STATUS -ne 0 ]; then exit $$STATUS; fi; \
+	if [ $$ELAPSED -gt 30 ]; then \
+		echo "smoke-timing: FAIL - exceeded the 30s budget"; exit 1; \
+	fi
 
 fuzz:
 	$(GO) test -fuzz FuzzParseTraceCSV -fuzztime 30s ./internal/loadgen/

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/mpi"
@@ -37,14 +38,29 @@ func main() {
 		outDir  = flag.String("out", "", "write per-figure files into this directory instead of stdout")
 		list    = flag.Bool("list", false, "list every experiment ID and exit")
 		check   = flag.Bool("check", false, "run the full claim battery (report.Claims) and exit non-zero on failure")
-		live    = flag.Bool("live", false, "run a small live-runtime demo (internal/swaprt over TCP) and print its stats")
-		chaos   = flag.String("chaos", "", "fault plan for the live demo (see internal/mpi/fault); empty for none")
+		live      = flag.Bool("live", false, "run a small live-runtime demo (internal/swaprt over TCP) and print its stats")
+		chaos     = flag.String("chaos", "", "fault plan for the live demo (see internal/mpi/fault); empty for none")
+		accel     = flag.Float64("accel", 1, "with -live: run the runtime on a virtual clock this many times faster than wall time")
+		scenarios = flag.Int("scenarios", 1, "with -live: sweep this many varied live scenarios (degrade rank/onset rotate) and print aggregate stats")
 	)
 	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
+	if *accel <= 0 {
+		fatal(fmt.Errorf("-accel must be positive, got %g", *accel))
+	}
+	var tm clock.Clock = clock.Real{}
+	if *accel != 1 {
+		tm = clock.NewScaled(*accel)
+	}
 	if *live {
-		if err := liveDemo(traceFlags, *chaos); err != nil {
+		if *scenarios > 1 {
+			if err := liveSweep(*chaos, tm, *accel, *scenarios); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := liveDemo(traceFlags, *chaos, tm); err != nil {
 			fatal(err)
 		}
 		return
@@ -54,6 +70,9 @@ func main() {
 	}
 	if *chaos != "" {
 		fatal(fmt.Errorf("-chaos applies to the live runtime demo; add -live"))
+	}
+	if *accel != 1 || *scenarios != 1 {
+		fatal(fmt.Errorf("-accel/-scenarios apply to the live runtime demo; add -live (simulation sweeps are already virtual-time)"))
 	}
 
 	if *check {
@@ -182,7 +201,7 @@ func write(fig *experiment.FigureResult, format string, f *os.File) error {
 // per-rank transport counters) so the instrumented path is exercised
 // end to end from the command line. A chaos spec arms the fault layer
 // and a resilient, fault-gated decider on top of the same demo.
-func liveDemo(traceFlags *obsflag.Flags, chaos string) error {
+func liveDemo(traceFlags *obsflag.Flags, chaos string, tm clock.Clock) error {
 	const (
 		ranks  = 4
 		active = 2
@@ -195,7 +214,7 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string) error {
 			return err
 		}
 	}
-	worldCfg := mpi.Config{Size: ranks, TCP: true}
+	worldCfg := mpi.Config{Size: ranks, TCP: true, Clock: tm}
 	if plan != nil {
 		worldCfg.Fault = plan
 	}
@@ -217,13 +236,14 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string) error {
 	}
 	var hub *swaprt.TelemetryHub
 	if traceFlags.Telemetry {
-		hub = swaprt.NewTelemetryHub(nil)
+		hub = swaprt.NewTelemetryHub(clock.Seconds(tm))
 		world.SetSendLatencySampling(true)
 	}
 	cfg := swaprt.Config{
 		Active:    active,
 		Policy:    core.Greedy(),
 		Probe:     probe,
+		Time:      tm,
 		Tracer:    tracer,
 		Telemetry: hub,
 		Logf: func(format string, args ...any) {
@@ -238,6 +258,7 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string) error {
 			MaxAttempts:   2,
 			FailThreshold: 2,
 			ProbeInterval: 50 * time.Millisecond,
+			Clock:         tm,
 			Tracer:        tracer,
 			Logf:          cfg.Logf,
 			Metrics:       world.Metrics(),
@@ -290,6 +311,126 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string) error {
 		return err
 	}
 	return traceFlags.Write(tracer, logf)
+}
+
+// liveSweep runs n varied live-runtime scenarios back to back on the
+// shared (usually scaled) clock and prints aggregate runtime statistics.
+// Scenario i rotates which active rank's host degrades and when, so the
+// sweep exercises swap-out of either active slot at many points of the
+// run; a chaos spec arms the same deterministic fault plan in every
+// scenario on top of that rotation. With -accel the virtual schedules
+// compress, which is what makes a thousand-scenario sweep a
+// coffee-break job instead of an overnight one.
+func liveSweep(chaos string, tm clock.Clock, accel float64, n int) error {
+	const (
+		ranks  = 4
+		active = 2
+		iters  = 30
+	)
+	fmt.Printf("live sweep: %d scenarios, %d ranks (in-process), %d active, %d iters, accel %gx\n",
+		n, ranks, active, iters, accel)
+	wallStart := time.Now()
+	var ok, failed, swaps, aborts, quarantined, decisions int
+	for i := 0; i < n; i++ {
+		degradeRank := i % active
+		onset := iters/4 + (i*7)%(iters/2)
+		stats, err := liveScenario(chaos, tm, degradeRank, onset, ranks, active, iters)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "swapexp: scenario %d (degrade rank %d at iter %d): %v\n",
+				i, degradeRank, onset, err)
+			continue
+		}
+		ok++
+		swaps += stats.Swaps
+		aborts += stats.SwapAborts
+		quarantined += stats.Quarantined
+		decisions += stats.Decisions
+		if (i+1)%100 == 0 {
+			fmt.Printf("  %d/%d scenarios, %d swaps so far (%.1fs wall)\n",
+				i+1, n, swaps, time.Since(wallStart).Seconds())
+		}
+	}
+	fmt.Printf("live sweep done: %d ok, %d failed, %d swaps (%d aborted, %d quarantined), %d decisions in %.1fs wall\n",
+		ok, failed, swaps, aborts, quarantined, decisions, time.Since(wallStart).Seconds())
+	if failed > 0 {
+		return fmt.Errorf("%d/%d scenarios failed", failed, n)
+	}
+	return nil
+}
+
+// liveScenario is one sweep element: an in-process world whose
+// degradeRank's host collapses at iteration onset, swapped by a greedy
+// policy, optionally under a chaos plan and a resilient decider.
+func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, active, iters int) (swaprt.RunStats, error) {
+	var plan *fault.Plan
+	if chaos != "" {
+		var err error
+		if plan, err = fault.Parse(chaos); err != nil {
+			return swaprt.RunStats{}, err
+		}
+	}
+	worldCfg := mpi.Config{Size: ranks, Clock: tm}
+	if plan != nil {
+		worldCfg.Fault = plan
+	}
+	world, err := mpi.NewWorldWithConfig(worldCfg)
+	if err != nil {
+		return swaprt.RunStats{}, err
+	}
+	iterCount := 0
+	probe := func(rank int) float64 {
+		if rank == degradeRank && iterCount > onset {
+			return 100
+		}
+		return 1000
+	}
+	cfg := swaprt.Config{
+		Active: active,
+		Policy: core.Greedy(),
+		Probe:  probe,
+		Time:   tm,
+	}
+	if plan != nil {
+		cfg.TransferTimeout = 2 * time.Second
+		resilient := &swaprt.ResilientDecider{
+			Primary:       swaprt.GatedDecider{Inner: swaprt.NewLocalDecider(core.Greedy()), Gate: plan.ManagerCall},
+			Fallback:      swaprt.NewLocalDecider(core.Greedy()),
+			MaxAttempts:   2,
+			FailThreshold: 2,
+			ProbeInterval: 50 * time.Millisecond,
+			Clock:         tm,
+			Metrics:       world.Metrics(),
+		}
+		defer resilient.Close()
+		cfg.Decider = resilient
+	}
+	return swaprt.RunWithStats(world, cfg, func(s *swaprt.Session) error {
+		iter := 0
+		acc := 0.0
+		s.Register("iter", &iter)
+		s.Register("acc", &acc)
+		for !s.Done() && iter < iters {
+			if s.Active() {
+				v, err := s.Comm().AllReduceFloat64(mpi.OpSum, 1)
+				if err != nil {
+					return err
+				}
+				acc += v
+				iter++
+				if plan != nil {
+					plan.Advance(s.Rank())
+				}
+				if s.Comm().Rank() == 0 {
+					iterCount = iter
+				}
+			}
+			if err := s.SwapPoint(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 func fatal(err error) {

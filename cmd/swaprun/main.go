@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/mpi/fault"
@@ -109,6 +110,7 @@ func main() {
 		chaos    = flag.String("chaos", "", "fault plan, e.g. 'seed=7;die:rank=2,iter=3;mgrdown:after=2,count=6' (see internal/mpi/fault); empty for none")
 		transfer = flag.Duration("transfer-timeout", 0, "per-leg state-transfer deadline before a swap aborts (0 = runtime default)")
 		debug    = flag.String("debug-addr", "", "HTTP debug endpoint serving /metrics (Prometheus), /telemetry (JSON) and /healthz (e.g. 127.0.0.1:7081)")
+		accel    = flag.Float64("accel", 1, "time acceleration: run the whole schedule (work, injections, backoffs, timeouts) on a virtual clock this many times faster than wall time")
 	)
 	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
@@ -116,6 +118,17 @@ func main() {
 	pol, err := core.Named(*policy)
 	if err != nil {
 		fatal(err)
+	}
+	if *accel <= 0 {
+		fatal(fmt.Errorf("-accel must be positive, got %g", *accel))
+	}
+	// One virtual clock drives everything that waits: work spinning, load
+	// injections, swap timeouts, retry backoffs, handler tickers and
+	// telemetry timestamps. At -accel 1 it is the wall clock.
+	var tm clock.Clock = clock.Real{}
+	if *accel != 1 {
+		tm = clock.NewScaled(*accel)
+		log.Printf("accel: virtual time runs %gx wall time", *accel)
 	}
 	injections, err := parseInjections(*inject)
 	if err != nil {
@@ -134,7 +147,7 @@ func main() {
 	for _, i := range injections {
 		i := i
 		go func() {
-			time.Sleep(i.Delay)
+			tm.Sleep(i.Delay)
 			log.Printf("inject: host of rank %d now %gx slower", i.Rank, i.Factor)
 			inj.apply(i)
 		}()
@@ -148,7 +161,7 @@ func main() {
 		log.Printf("chaos: fault plan armed: %s", *chaos)
 	}
 
-	worldCfg := mpi.Config{Size: *ranks, TCP: *tcpWorld}
+	worldCfg := mpi.Config{Size: *ranks, TCP: *tcpWorld, Clock: tm}
 	if plan != nil {
 		// Only a non-nil plan goes into the interface field: a typed nil
 		// would arm an injector that panics on first use.
@@ -164,14 +177,13 @@ func main() {
 		fatal(err)
 	}
 
-	// One clock shared by the runtime and the telemetry hub, so series
-	// timestamps line up with trace timestamps.
-	runStart := time.Now()
-	clock := func() float64 { return time.Since(runStart).Seconds() }
+	// One seconds view of the shared clock for the runtime and the
+	// telemetry hub, so series timestamps line up with trace timestamps.
+	secs := clock.Seconds(tm)
 
 	var hub *swaprt.TelemetryHub
 	if traceFlags.Telemetry {
-		hub = swaprt.NewTelemetryHub(clock)
+		hub = swaprt.NewTelemetryHub(secs)
 		// Telemetry rides on the swap handlers' periodic reports; give them
 		// the telemetry cadence unless the user picked their own.
 		if *handler == 0 {
@@ -184,7 +196,8 @@ func main() {
 		Active:          *active,
 		Policy:          pol,
 		Probe:           inj.probe,
-		Clock:           clock,
+		Clock:           secs,
+		Time:            tm,
 		Logf:            log.Printf,
 		HandlerInterval: *handler,
 		TransferTimeout: *transfer,
@@ -210,6 +223,7 @@ func main() {
 			MaxAttempts:   2,
 			FailThreshold: 2,
 			ProbeInterval: 50 * time.Millisecond,
+			Clock:         tm,
 			Tracer:        tracer,
 			Logf:          log.Printf,
 			Metrics:       world.Metrics(),
@@ -251,7 +265,7 @@ func main() {
 		s.Register("pad", &pad)
 		for !s.Done() && iter < *iters {
 			if s.Active() {
-				busyWait(time.Duration(*workMS*inj.slowdown(s.Rank())) * time.Millisecond / 1)
+				busyWait(tm, time.Duration(*workMS*inj.slowdown(s.Rank()))*time.Millisecond)
 				v, err := s.Comm().AllReduceFloat64(mpi.OpSum, 1)
 				if err != nil {
 					return err
@@ -299,10 +313,13 @@ func main() {
 	}
 }
 
-func busyWait(d time.Duration) {
-	end := time.Now().Add(d)
+// busyWait spins for d of the injected clock's time: on a scaled clock
+// the simulated compute compresses with everything else, keeping the
+// work-to-timeout ratios of an accelerated run faithful to real time.
+func busyWait(clk clock.Clock, d time.Duration) {
+	end := clk.Now().Add(d)
 	x := 1.0
-	for time.Now().Before(end) {
+	for clk.Now().Before(end) {
 		for i := 0; i < 1000; i++ {
 			x = x*1.0000001 + 1e-12
 		}

@@ -2,7 +2,7 @@
 // static-analysis pass (go/ast + go/types, no external driver) encoding the
 // project's runtime invariants as machine-checked rules.
 //
-// The four analyzers and the invariants they enforce:
+// The six analyzers and the invariants they enforce:
 //
 //   - simdeterminism: simulation and figure packages run on virtual time and
 //     seeded rng streams only — no wall clock, no global math/rand, no map
@@ -15,13 +15,22 @@
 //     hanging the mesh.
 //   - mpierr: no silently discarded error from MPI operations or gob
 //     encode/decode.
+//   - obsdiscipline: no direct console printing from the runtime packages —
+//     diagnostics go through obs events or the injected cfg.Logf.
+//   - clockdiscipline: no bare wall-clock use (time.Now/Sleep/After/timers)
+//     in the live runtime packages — time flows through an injected
+//     clock.Clock so tests and sweeps can fake or compress it.
 //
 // A finding can be suppressed with a trailing or preceding comment
 //
-//	//swapvet:ignore <analyzer> [-- rationale]
+//	//swapvet:ignore <analyzer> -- rationale
 //
-// which is reserved for operations that are blocking or deadline-free by
-// design (e.g. a reader loop that a shutdown unblocks by closing its socket).
+// which is reserved for operations that are blocking, deadline-free or
+// wall-clock-bound by design (e.g. a reader loop that a shutdown unblocks by
+// closing its socket, or a kernel socket deadline that cannot follow a fake
+// timeline). The driver validates every directive: the analyzer name must be
+// one it knows and the rationale is mandatory, so a typo cannot silently
+// disarm a rule (CheckIgnores).
 package analysis
 
 import (
@@ -101,9 +110,11 @@ func RunAnalyzer(a *Analyzer, lp *LoadedPackage) []Finding {
 	return found
 }
 
-// RunAll applies every analyzer whose Applies accepts the package.
+// RunAll applies every analyzer whose Applies accepts the package, plus
+// the driver's own directive audit (CheckIgnores): a malformed or
+// misspelled //swapvet:ignore is itself a finding, never a silent no-op.
 func RunAll(analyzers []*Analyzer, lp *LoadedPackage) []Finding {
-	var out []Finding
+	out := CheckIgnores(lp)
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(lp.ImportPath) {
 			continue
@@ -111,6 +122,63 @@ func RunAll(analyzers []*Analyzer, lp *LoadedPackage) []Finding {
 		out = append(out, RunAnalyzer(a, lp)...)
 	}
 	return out
+}
+
+// ignorePrefix marks a swapvet suppression directive comment.
+const ignorePrefix = "//swapvet:ignore"
+
+// CheckIgnores audits every //swapvet:ignore directive in the package:
+// the directive must name an analyzer the suite knows (a typo would
+// otherwise suppress nothing, silently) and must carry a `-- rationale`
+// (an unexplained ignore is indistinguishable from a leftover). Each
+// violation is a finding attributed to the pseudo-analyzer "swapvet".
+func CheckIgnores(lp *LoadedPackage) []Finding {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      lp.Fset.Position(pos),
+			Analyzer: "swapvet",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := text[len(ignorePrefix):]
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // a different word, e.g. //swapvet:ignoreme
+				}
+				directive, rationale, hasRationale := strings.Cut(rest, "--")
+				name := strings.TrimSpace(directive)
+				switch {
+				case name == "":
+					report(c.Pos(), "ignore directive names no analyzer; write %s <analyzer> -- rationale", ignorePrefix)
+				case !known[name]:
+					report(c.Pos(), "ignore directive names unknown analyzer %q (known: %s)", name, strings.Join(knownNames(), ", "))
+				}
+				if !hasRationale || strings.TrimSpace(rationale) == "" {
+					report(c.Pos(), "ignore directive has no rationale; write %s <analyzer> -- rationale", ignorePrefix)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func knownNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 var ignoreRE = regexp.MustCompile(`^//swapvet:ignore(?:\s+([a-z]+))?(?:\s+--.*)?$`)

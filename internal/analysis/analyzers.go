@@ -2,7 +2,7 @@ package analysis
 
 // All returns the full swapvet analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{SimDeterminism, LockedIO, DeadlineIO, MPIErr, ObsDiscipline}
+	return []*Analyzer{SimDeterminism, LockedIO, DeadlineIO, MPIErr, ObsDiscipline, ClockDiscipline}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

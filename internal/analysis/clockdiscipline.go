@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockPkgs are the live-runtime packages that must reach the clock only
+// through an injected clock.Clock (DESIGN.md §16): every timer, sleep,
+// backoff and deadline in them has to follow a fake or scaled timeline
+// so chaos/resilience tests and `swaprun -accel` sweeps are not billed
+// in real seconds. internal/clock itself is the sanctioned wrapper and
+// is deliberately absent.
+var clockPkgs = map[string]bool{
+	"repro/internal/swaprt":     true,
+	"repro/internal/mpi":        true,
+	"repro/internal/mpi/fault":  true,
+	"repro/internal/mpi/wire":   true,
+	"repro/internal/obs":        true,
+	"repro/internal/obs/series": true,
+	"repro/internal/core":       true,
+	"repro/internal/strategy":   true,
+}
+
+// bannedTimeFuncs are the package time entry points that read or wait on
+// the wall clock. Pure value constructors (time.Duration arithmetic,
+// time.Date, time.Unix) stay legal: they build instants, they do not
+// consult the clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// ClockDiscipline forbids bare wall-clock use in the live runtime
+// packages. Detection is type-aware and flags every *reference* to a
+// banned time function, not just direct calls, so the aliasing dodge
+// (`now := time.Now; ... now()`) and passing `time.Sleep` as a callback
+// are caught the same as `time.Now()`. Justified syscall-boundary
+// exceptions (a kernel socket deadline has no fake timeline) carry
+// //swapvet:ignore clockdiscipline with a rationale.
+var ClockDiscipline = &Analyzer{
+	Name:    "clockdiscipline",
+	Doc:     "forbid bare time.Now/Sleep/After/AfterFunc/Tick/NewTimer/NewTicker/Since/Until in the live runtime packages; inject a clock.Clock (DESIGN.md §16)",
+	Applies: func(pkgPath string) bool { return clockPkgs[pkgPath] },
+	Run:     runClockDiscipline,
+}
+
+func runClockDiscipline(p *Pass) {
+	for _, file := range p.Files {
+		// calledIdents are the identifiers in call position: for those the
+		// report reads "call"; any other reference is the aliasing dodge
+		// and reads "captured as a value".
+		calledIdents := map[*ast.Ident]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.SelectorExpr:
+				calledIdents[fun.Sel] = true
+			case *ast.Ident:
+				calledIdents[fun] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !bannedTimeFuncs[fn.Name()] {
+				return true
+			}
+			if calledIdents[id] {
+				p.Reportf(id.Pos(), "time.%s in a clock-disciplined package; use the injected clock.Clock (DESIGN.md §16)", fn.Name())
+			} else {
+				p.Reportf(id.Pos(), "time.%s captured as a value in a clock-disciplined package; use the injected clock.Clock (DESIGN.md §16)", fn.Name())
+			}
+			return true
+		})
+	}
+}

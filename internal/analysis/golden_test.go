@@ -112,6 +112,8 @@ func TestDeadlineIOGolden(t *testing.T)     { runGolden(t, analysis.DeadlineIO) 
 func TestMPIErrGolden(t *testing.T)         { runGolden(t, analysis.MPIErr) }
 func TestObsDisciplineGolden(t *testing.T)  { runGolden(t, analysis.ObsDiscipline) }
 
+func TestClockDisciplineGolden(t *testing.T) { runGolden(t, analysis.ClockDiscipline) }
+
 // TestAnalyzerScoping pins each analyzer's Applies scope: the deterministic
 // and deadline rules are package-targeted, the lock and error rules are
 // global.
@@ -143,6 +145,17 @@ func TestAnalyzerScoping(t *testing.T) {
 		{analysis.ObsDiscipline, "repro/cmd/swapmon", false},
 		{analysis.ObsDiscipline, "repro/internal/obs", false},
 		{analysis.ObsDiscipline, "repro/cmd/swaprun", false},
+		{analysis.ClockDiscipline, "repro/internal/swaprt", true},
+		{analysis.ClockDiscipline, "repro/internal/mpi", true},
+		{analysis.ClockDiscipline, "repro/internal/mpi/fault", true},
+		{analysis.ClockDiscipline, "repro/internal/obs", true},
+		{analysis.ClockDiscipline, "repro/internal/obs/series", true},
+		{analysis.ClockDiscipline, "repro/internal/core", true},
+		{analysis.ClockDiscipline, "repro/internal/strategy", true},
+		// internal/clock is the sanctioned wrapper around package time;
+		// commands own their top-level clock choice (-accel wiring).
+		{analysis.ClockDiscipline, "repro/internal/clock", false},
+		{analysis.ClockDiscipline, "repro/cmd/swaprun", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Applies(c.pkg); got != c.want {
@@ -153,8 +166,8 @@ func TestAnalyzerScoping(t *testing.T) {
 
 // TestByName resolves analyzer subsets for swapvet's -run flag.
 func TestByName(t *testing.T) {
-	if got := len(analysis.ByName("")); got != 5 {
-		t.Fatalf("ByName(\"\") returned %d analyzers, want 5", got)
+	if got := len(analysis.ByName("")); got != 6 {
+		t.Fatalf("ByName(\"\") returned %d analyzers, want 6", got)
 	}
 	sub := analysis.ByName("lockedio,mpierr")
 	if len(sub) != 2 || sub[0].Name != "lockedio" || sub[1].Name != "mpierr" {

@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func loadIgnoresFixture(t *testing.T) *analysis.LoadedPackage {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "ignores"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := loader().LoadDir(dir, "fixture/ignores")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	return lp
+}
+
+// CheckIgnores must reject a typo'd analyzer name, a directive naming no
+// analyzer, and a directive with no rationale — and accept the
+// well-formed shape. Before this audit existed, a misspelled directive
+// suppressed nothing and said nothing.
+func TestCheckIgnoresRejectsMalformedDirectives(t *testing.T) {
+	lp := loadIgnoresFixture(t)
+	findings := analysis.CheckIgnores(lp)
+
+	wants := []string{
+		`unknown analyzer "clockdiscipine"`,
+		"names no analyzer",
+		"has no rationale",
+	}
+	for _, want := range wants {
+		n := 0
+		for _, f := range findings {
+			if strings.Contains(f.Message, want) {
+				n++
+				if f.Analyzer != "swapvet" {
+					t.Errorf("finding %v attributed to %q, want swapvet", f, f.Analyzer)
+				}
+			}
+		}
+		if n == 0 {
+			t.Errorf("no finding matching %q\nall: %v", want, findings)
+		}
+	}
+	// Exactly four findings: typo name, nameless (also rationale-less,
+	// two findings), missing rationale. The well-formed directive and the
+	// non-directive comments contribute nothing.
+	if len(findings) != 4 {
+		t.Errorf("got %d findings, want 4: %v", len(findings), findings)
+	}
+}
+
+// RunAll must surface the directive audit even when no analyzer applies
+// to the package, so `swapvet ./...` and TestTreeIsClean both enforce it.
+func TestRunAllIncludesIgnoreAudit(t *testing.T) {
+	lp := loadIgnoresFixture(t)
+	findings := analysis.RunAll(analysis.All(), lp)
+	n := 0
+	for _, f := range findings {
+		if f.Analyzer == "swapvet" {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Fatalf("RunAll surfaced %d directive-audit findings, want 4: %v", n, findings)
+	}
+}

@@ -1,0 +1,56 @@
+// Package fixture seeds wall-clock leaks for the clockdiscipline golden
+// test: bare calls, the aliased/assigned-function dodge, callback
+// capture, and a justified ignore at a syscall boundary.
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+func bareCalls() time.Duration {
+	start := time.Now()          // want `time\.Now in a clock-disciplined package`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a clock-disciplined package`
+	<-time.After(time.Millisecond) // want `time\.After in a clock-disciplined package`
+	return time.Since(start)       // want `time\.Since in a clock-disciplined package`
+}
+
+func timers() {
+	t := time.NewTimer(time.Second) // want `time\.NewTimer in a clock-disciplined package`
+	defer t.Stop()
+	k := time.NewTicker(time.Second) // want `time\.NewTicker in a clock-disciplined package`
+	defer k.Stop()
+	<-time.Tick(time.Second)                  // want `time\.Tick in a clock-disciplined package`
+	time.AfterFunc(time.Second, func() {})    // want `time\.AfterFunc in a clock-disciplined package`
+	_ = time.Until(time.Now().Add(time.Hour)) // want `time\.Until in a clock-disciplined package` // want `time\.Now in a clock-disciplined package`
+}
+
+// aliasedDodge shows why detection is reference-based: binding the
+// function to a local name and calling that would slip past a
+// call-expression check.
+func aliasedDodge() time.Time {
+	now := time.Now // want `time\.Now captured as a value in a clock-disciplined package`
+	return now()
+}
+
+func callbackDodge(run func(func(time.Duration))) {
+	run(time.Sleep) // want `time\.Sleep captured as a value in a clock-disciplined package`
+}
+
+var clockVar = time.Now // want `time\.Now captured as a value in a clock-disciplined package`
+
+// socketDeadline is the sanctioned exception shape: a kernel deadline
+// has no fake timeline, so the arm is ignored with a rationale and no
+// finding survives the filter.
+func socketDeadline(conn net.Conn) {
+	//swapvet:ignore clockdiscipline -- kernel socket deadlines are wall-clock by nature
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+}
+
+// legalTimeUse stays silent: Duration arithmetic and instant
+// constructors do not consult the clock.
+func legalTimeUse() time.Time {
+	d := 3 * time.Second
+	_ = d.Seconds()
+	return time.Date(2003, 6, 22, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,31 @@
+// Package fixture seeds malformed //swapvet:ignore directives for the
+// CheckIgnores audit: a typo'd analyzer name, a nameless directive, and
+// a missing rationale. The lone well-formed directive must stay silent.
+package fixture
+
+import "time"
+
+func typoName() {
+	//swapvet:ignore clockdiscipine -- typo'd analyzer suppresses nothing
+	time.Sleep(time.Millisecond)
+}
+
+func nameless() {
+	//swapvet:ignore
+	time.Sleep(time.Millisecond)
+}
+
+func noRationale() {
+	//swapvet:ignore clockdiscipline
+	time.Sleep(time.Millisecond)
+}
+
+func wellFormed() {
+	//swapvet:ignore clockdiscipline -- fixture exercises the legal shape
+	time.Sleep(time.Millisecond)
+}
+
+// notADirective is a plain comment that merely mentions swapvet:ignore
+// somewhere and a distinct word: //swapvet:ignored. Neither parses as a
+// directive, so neither is audited.
+func notADirective() {}

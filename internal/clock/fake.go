@@ -1,0 +1,254 @@
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// fakeEpoch is the fixed instant a Fake clock starts at. Any constant
+// works; this one is the opening day of HPDC-12, where the source paper
+// appeared.
+var fakeEpoch = time.Date(2003, 6, 22, 0, 0, 0, 0, time.UTC)
+
+// Fake is a manually driven clock for tests. Time stands still until
+// Advance (or AdvanceTo) moves it; pending waiters — sleeps, timers,
+// tickers — fire in timestamp order, with the clock reading exactly
+// each waiter's deadline at the moment it fires. In auto-advance mode
+// (NewFakeAuto) every Sleep immediately advances the clock to its own
+// deadline, so straight-line code that sleeps runs at full speed with
+// no driver goroutine.
+//
+// All methods are safe for concurrent use.
+type Fake struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	seq     int64
+	waiters []*fakeWaiter
+	auto    bool
+}
+
+type fakeWaiter struct {
+	when    time.Time
+	seq     int64         // FIFO tiebreak for equal deadlines
+	period  time.Duration // > 0 for tickers
+	ch      chan time.Time
+	fn      func() // AfterFunc callback, run in its own goroutine
+	stopped bool
+}
+
+// NewFake returns a Fake clock frozen at a fixed epoch. Drive it with
+// Advance or AdvanceTo.
+func NewFake() *Fake {
+	f := &Fake{now: fakeEpoch}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// NewFakeAuto returns a Fake clock in auto-advance mode: each Sleep
+// advances the clock to its own deadline (firing any earlier waiters in
+// timestamp order first) instead of blocking for a driver.
+func NewFakeAuto() *Fake {
+	f := NewFake()
+	f.auto = true
+	return f
+}
+
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+func (f *Fake) Until(t time.Time) time.Duration { return t.Sub(f.Now()) }
+
+// Advance moves the clock forward by d, firing every waiter whose
+// deadline falls inside the window, in (deadline, registration) order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceToLocked(f.now.Add(d))
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is not ahead).
+func (f *Fake) AdvanceTo(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceToLocked(t)
+}
+
+// advanceToLocked fires all waiters due at or before target in
+// timestamp order, reading the clock as each waiter's own deadline at
+// its moment of firing, then settles the clock at target.
+func (f *Fake) advanceToLocked(target time.Time) {
+	for {
+		w := f.nextDueLocked(target)
+		if w == nil {
+			break
+		}
+		if w.when.After(f.now) {
+			f.now = w.when
+		}
+		f.fireLocked(w)
+	}
+	if target.After(f.now) {
+		f.now = target
+	}
+	f.cond.Broadcast()
+}
+
+// nextDueLocked returns the earliest live waiter due at or before
+// target, or nil.
+func (f *Fake) nextDueLocked(target time.Time) *fakeWaiter {
+	var best *fakeWaiter
+	for _, w := range f.waiters {
+		if w.stopped || w.when.After(target) {
+			continue
+		}
+		if best == nil || w.when.Before(best.when) ||
+			(w.when.Equal(best.when) && w.seq < best.seq) {
+			best = w
+		}
+	}
+	return best
+}
+
+func (f *Fake) fireLocked(w *fakeWaiter) {
+	switch {
+	case w.fn != nil:
+		go w.fn()
+	case w.ch != nil:
+		select {
+		case w.ch <- w.when:
+		default: // receiver is behind; drop like time.Ticker
+		}
+	}
+	if w.period > 0 {
+		w.when = w.when.Add(w.period)
+		w.seq = f.nextSeqLocked()
+		return
+	}
+	w.stopped = true
+	f.removeStoppedLocked()
+}
+
+func (f *Fake) nextSeqLocked() int64 {
+	f.seq++
+	return f.seq
+}
+
+func (f *Fake) addWaiterLocked(w *fakeWaiter) {
+	w.seq = f.nextSeqLocked()
+	f.waiters = append(f.waiters, w)
+	f.cond.Broadcast()
+}
+
+func (f *Fake) removeStoppedLocked() {
+	live := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.stopped {
+			live = append(live, w)
+		}
+	}
+	f.waiters = live
+	f.cond.Broadcast()
+}
+
+// WaiterCount reports the number of pending waiters (sleeps, timers and
+// tickers not yet fired or stopped).
+func (f *Fake) WaiterCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// PendingDeadlines reports the deadlines of all pending waiters in
+// ascending order (for tests and debugging).
+func (f *Fake) PendingDeadlines() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]time.Time, 0, len(f.waiters))
+	for _, w := range f.waiters {
+		out = append(out, w.when)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// BlockUntilWaiters blocks until at least n waiters are pending. Tests
+// use it to let concurrently started sleepers register before Advance.
+func (f *Fake) BlockUntilWaiters(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.waiters) < n {
+		f.cond.Wait()
+	}
+}
+
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	deadline := f.now.Add(d)
+	w := &fakeWaiter{when: deadline, ch: make(chan time.Time, 1)}
+	f.addWaiterLocked(w)
+	if f.auto {
+		// Wake everything due before us in timestamp order, ourselves
+		// included, then return without blocking on the channel send
+		// made above.
+		f.advanceToLocked(deadline)
+	}
+	ch := w.ch
+	f.mu.Unlock()
+	<-ch
+}
+
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	return f.NewTimer(d).C
+}
+
+func (f *Fake) AfterFunc(d time.Duration, fn func()) *Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{when: f.now.Add(d), fn: fn}
+	f.addWaiterLocked(w)
+	return &Timer{stop: f.stopFunc(w)}
+}
+
+func (f *Fake) NewTimer(d time.Duration) *Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{when: f.now.Add(d), ch: make(chan time.Time, 1)}
+	f.addWaiterLocked(w)
+	return &Timer{C: w.ch, stop: f.stopFunc(w)}
+}
+
+func (f *Fake) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker interval")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{when: f.now.Add(d), period: d, ch: make(chan time.Time, 1)}
+	f.addWaiterLocked(w)
+	stop := f.stopFunc(w)
+	return &Ticker{C: w.ch, stop: func() { stop() }}
+}
+
+// stopFunc returns a Stop implementation for w: it reports whether the
+// waiter was still pending and removes it.
+func (f *Fake) stopFunc(w *fakeWaiter) func() bool {
+	return func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if w.stopped {
+			return false
+		}
+		w.stopped = true
+		f.removeStoppedLocked()
+		return true
+	}
+}

@@ -1,0 +1,219 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrent sleepers must be woken in timestamp order: each After
+// channel receives the clock reading at its fire moment, which must be
+// exactly that waiter's own deadline — a waiter fired out of order
+// would observe a later time.
+func TestFakeWakesSleepersInTimestampOrder(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	delays := []time.Duration{70 * time.Millisecond, 10 * time.Millisecond,
+		40 * time.Millisecond, 100 * time.Millisecond, 40 * time.Millisecond}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := map[time.Duration][]time.Time{}
+	for _, d := range delays {
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			at := <-f.After(d)
+			mu.Lock()
+			got[d] = append(got[d], at)
+			mu.Unlock()
+		}(d)
+	}
+
+	f.BlockUntilWaiters(len(delays))
+	f.Advance(time.Second)
+	wg.Wait()
+
+	for d, ats := range got {
+		for _, at := range ats {
+			if want := start.Add(d); !at.Equal(want) {
+				t.Errorf("sleeper %v fired at %v, want %v (out-of-order wakeup)", d, at, want)
+			}
+		}
+	}
+	if len(got[40*time.Millisecond]) != 2 {
+		t.Fatalf("expected both 40ms sleepers to fire, got %d", len(got[40*time.Millisecond]))
+	}
+}
+
+// One Advance must fire every timer in its window, earliest first, and
+// leave later timers pending.
+func TestFakeAdvancePastMultipleTimers(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	t1 := f.NewTimer(10 * time.Millisecond)
+	t2 := f.NewTimer(20 * time.Millisecond)
+	t3 := f.NewTimer(500 * time.Millisecond)
+
+	f.Advance(50 * time.Millisecond)
+
+	if at := <-t1.C; !at.Equal(start.Add(10 * time.Millisecond)) {
+		t.Errorf("t1 fired at %v", at)
+	}
+	if at := <-t2.C; !at.Equal(start.Add(20 * time.Millisecond)) {
+		t.Errorf("t2 fired at %v", at)
+	}
+	select {
+	case at := <-t3.C:
+		t.Fatalf("t3 fired early at %v", at)
+	default:
+	}
+	if n := f.WaiterCount(); n != 1 {
+		t.Fatalf("WaiterCount = %d, want 1 (t3 pending)", n)
+	}
+	if !f.Now().Equal(start.Add(50 * time.Millisecond)) {
+		t.Fatalf("clock settled at %v, want start+50ms", f.Now())
+	}
+	f.Advance(450 * time.Millisecond)
+	if at := <-t3.C; !at.Equal(start.Add(500 * time.Millisecond)) {
+		t.Errorf("t3 fired at %v", at)
+	}
+}
+
+// A ticker must stay phase-aligned: ticks land on exact multiples of
+// the period even when the clock advances in odd increments.
+func TestFakeTickerDoesNotDrift(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	tk := f.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+
+	var ticks []time.Time
+	for _, step := range []time.Duration{13 * time.Millisecond, 9 * time.Millisecond,
+		11 * time.Millisecond, 7 * time.Millisecond} {
+		f.Advance(step)
+		// Drain whatever this step produced (buffered cap 1, like
+		// time.Ticker: a slow receiver sees dropped, not late, ticks).
+		select {
+		case at := <-tk.C:
+			ticks = append(ticks, at)
+		default:
+		}
+	}
+	if len(ticks) < 3 {
+		t.Fatalf("got %d ticks, want >= 3", len(ticks))
+	}
+	for i, at := range ticks {
+		off := at.Sub(start)
+		if off%(10*time.Millisecond) != 0 {
+			t.Errorf("tick %d at offset %v is not a multiple of the period (drift)", i, off)
+		}
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	f.Advance(time.Second)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if n := f.WaiterCount(); n != 0 {
+		t.Fatalf("WaiterCount = %d after stop", n)
+	}
+}
+
+func TestFakeAfterFuncRunsCallback(t *testing.T) {
+	f := NewFake()
+	done := make(chan struct{})
+	f.AfterFunc(25*time.Millisecond, func() { close(done) })
+	f.Advance(24 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("AfterFunc fired early")
+	default:
+	}
+	f.Advance(time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("AfterFunc never ran")
+	}
+}
+
+// Auto-advance mode: straight-line sleeps complete instantly, and the
+// clock reads the sum of the sleeps.
+func TestFakeAutoAdvanceSleep(t *testing.T) {
+	f := NewFakeAuto()
+	start := f.Now()
+	wall := time.Now()
+	f.Sleep(3 * time.Second)
+	f.Sleep(2 * time.Second)
+	if got := f.Since(start); got != 5*time.Second {
+		t.Fatalf("fake elapsed %v, want 5s", got)
+	}
+	if real := time.Since(wall); real > time.Second {
+		t.Fatalf("auto-advance sleeps took %v of real time", real)
+	}
+}
+
+// Auto-advance must still fire earlier waiters registered by other
+// goroutines before jumping to its own deadline.
+func TestFakeAutoAdvanceFiresEarlierWaiters(t *testing.T) {
+	f := NewFakeAuto()
+	start := f.Now()
+	early := f.NewTimer(10 * time.Millisecond)
+	f.Sleep(time.Second)
+	at := <-early.C
+	if !at.Equal(start.Add(10 * time.Millisecond)) {
+		t.Fatalf("early timer fired at %v, want start+10ms", at)
+	}
+}
+
+// Hammer the fake from many goroutines so `go test -race` proves the
+// locking. No assertions beyond completion: the schedule is arbitrary.
+func TestFakeConcurrentUseRaceClean(t *testing.T) {
+	f := NewFake()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				switch j % 4 {
+				case 0:
+					f.Sleep(time.Duration(i+1) * time.Millisecond)
+				case 1:
+					tm := f.NewTimer(time.Duration(j) * time.Millisecond)
+					tm.Stop()
+				case 2:
+					f.Now()
+				case 3:
+					f.AfterFunc(time.Millisecond, func() {})
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				f.Advance(5 * time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	f.Advance(time.Hour) // flush stragglers
+}

@@ -100,11 +100,11 @@ func (c *Comm) send(to, tag int, data []byte) error {
 	if tr.Enabled() {
 		t0 = tr.Now()
 	}
-	start := time.Now()
+	start := c.w.clk.Now()
 	err := c.w.transport.send(envelope{
 		Comm: c.id, Src: c.me, Dst: c.members[to], Tag: tag, Data: data,
 	})
-	ctr.sendBlock.Add(uint64(time.Since(start)))
+	ctr.sendBlock.Add(uint64(c.w.clk.Since(start)))
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.KindMPISend, Rank: c.me, T: t0,
 			Dur: tr.Now() - t0, Peer: c.members[to], Bytes: int64(len(data))})
@@ -184,7 +184,7 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, Status
 	if tr.Enabled() {
 		t0 = tr.Now()
 	}
-	env, err := c.w.boxes[c.me].popDeadline(c.id, srcWorld, tag, time.Now().Add(timeout))
+	env, err := c.w.boxes[c.me].popDeadline(c.w.clk, c.id, srcWorld, tag, c.w.clk.Now().Add(timeout))
 	if err != nil {
 		return nil, Status{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -164,6 +165,96 @@ func TestFaultTransportDelay(t *testing.T) {
 	}
 	if got := w.Metrics().Counter("mpi.fault.delays").Load(); got != 1 {
 		t.Errorf("mpi.fault.delays = %d, want 1", got)
+	}
+}
+
+// A world torn down while an injected delay is in flight must fail the
+// send with ErrWorldClosed instead of completing it into a dead
+// transport. The fake clock makes the interleaving exact: the sender is
+// provably inside the delay (BlockUntilWaiters) when Close lands, and
+// only then does the clock advance past the delay.
+func TestFaultTransportCloseDuringDelay(t *testing.T) {
+	fake := clock.NewFake()
+	inj := &stubInjector{verdicts: map[[2]int]FaultVerdict{
+		{0, 1}: {Delay: 10 * time.Second, Detail: "wedged link"},
+	}}
+	w, err := NewWorldWithConfig(Config{Size: 2, Fault: inj, Clock: fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := &Rank{w: w, rank: 0}
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- r0.World().Send(1, 1, []byte("doomed")) }()
+
+	fake.BlockUntilWaiters(1) // the sender is asleep inside the delay
+	w.Close()
+	fake.Advance(10 * time.Second)
+
+	if err := <-sendErr; !errors.Is(err, ErrWorldClosed) {
+		t.Fatalf("send after close-during-delay returned %v, want ErrWorldClosed", err)
+	}
+	if got := w.Metrics().Counter("mpi.fault.delays").Load(); got != 1 {
+		t.Errorf("mpi.fault.delays = %d, want 1", got)
+	}
+}
+
+// A delay verdict against an already-closed world must not sleep at all:
+// the sender fails fast and no waiter ever registers on the clock.
+func TestFaultTransportDelaySkippedAfterClose(t *testing.T) {
+	fake := clock.NewFake()
+	inj := &stubInjector{verdicts: map[[2]int]FaultVerdict{
+		{0, 1}: {Delay: time.Hour, Detail: "wedged link"},
+	}}
+	w, err := NewWorldWithConfig(Config{Size: 2, Fault: inj, Clock: fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	r0 := &Rank{w: w, rank: 0}
+	if err := r0.World().Send(1, 1, []byte("doomed")); !errors.Is(err, ErrWorldClosed) {
+		t.Fatalf("send on closed world returned %v, want ErrWorldClosed", err)
+	}
+	if n := fake.WaiterCount(); n != 0 {
+		t.Fatalf("closed-world delay registered %d clock waiters, want 0", n)
+	}
+	if got := w.Metrics().Counter("mpi.fault.delays").Load(); got != 0 {
+		t.Errorf("mpi.fault.delays = %d, want 0 (skipped, not taken)", got)
+	}
+}
+
+// RecvTimeout must follow the world's injected clock: nothing times out
+// while the fake clock stands still, and the timeout fires the moment it
+// advances past the deadline.
+func TestRecvTimeoutOnFakeClock(t *testing.T) {
+	fake := clock.NewFake()
+	w, err := NewWorldWithConfig(Config{Size: 1, Clock: fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Clock() != clock.Clock(fake) {
+		t.Fatal("World.Clock() did not report the injected clock")
+	}
+	defer w.Close()
+	r0 := &Rank{w: w, rank: 0}
+	recvErr := make(chan error, 1)
+	go func() {
+		_, _, err := r0.World().RecvTimeout(0, 3, 5*time.Second)
+		recvErr <- err
+	}()
+	fake.BlockUntilWaiters(1) // the deadline timer is armed
+	select {
+	case err := <-recvErr:
+		t.Fatalf("RecvTimeout returned %v before the fake clock moved", err)
+	default:
+	}
+	fake.Advance(5 * time.Second)
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrRecvTimeout) {
+			t.Fatalf("got %v, want ErrRecvTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RecvTimeout never fired after the fake clock advanced past the deadline")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/mpi/wire"
 	"repro/internal/obs"
 )
@@ -125,14 +126,16 @@ func (m *mailbox) pop(comm uint64, src, tag int) (envelope, error) {
 	}
 }
 
-// popDeadline is pop with a deadline: it returns ErrRecvTimeout once the
-// deadline passes with no matching message. The wake-up is driven by a
-// timer that broadcasts on the mailbox condition, so waiters re-check the
-// clock without polling.
-func (m *mailbox) popDeadline(comm uint64, src, tag int, deadline time.Time) (envelope, error) {
+// popDeadline is pop with a deadline on clk's timeline: it returns
+// ErrRecvTimeout once the deadline passes with no matching message. The
+// wake-up is driven by a timer that broadcasts on the mailbox condition,
+// so waiters re-check the clock without polling. The fake clock fires
+// AfterFunc callbacks on their own goroutines, so the broadcast locking
+// m.mu cannot deadlock against a driver advancing the clock.
+func (m *mailbox) popDeadline(clk clock.Clock, comm uint64, src, tag int, deadline time.Time) (envelope, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	timer := time.AfterFunc(time.Until(deadline), func() {
+	timer := clk.AfterFunc(clk.Until(deadline), func() {
 		m.mu.Lock()
 		m.cond.Broadcast()
 		m.mu.Unlock()
@@ -145,7 +148,7 @@ func (m *mailbox) popDeadline(comm uint64, src, tag int, deadline time.Time) (en
 		if m.closed {
 			return envelope{}, ErrWorldClosed
 		}
-		if !time.Now().Before(deadline) {
+		if !clk.Now().Before(deadline) {
 			return envelope{}, ErrRecvTimeout
 		}
 		m.cond.Wait()
@@ -187,16 +190,27 @@ type World struct {
 	metrics   *obs.Registry
 	tracer    atomic.Pointer[obs.Tracer]
 	transport transport
+	clk       clock.Clock
+	closed    atomic.Bool
 }
 
-func newWorldShell(size int) *World {
-	w := &World{size: size, metrics: obs.NewRegistry()}
+func newWorldShell(size int, clk clock.Clock) *World {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	w := &World{size: size, metrics: obs.NewRegistry(), clk: clk}
 	for i := 0; i < size; i++ {
 		w.boxes = append(w.boxes, newMailbox())
 		w.counters = append(w.counters, newRankCounters(w.metrics, i))
 	}
 	return w
 }
+
+// Clock reports the world's time source (clock.Real unless Config.Clock
+// injected a fake or scaled one). Everything in this package that waits
+// or timestamps — receive deadlines, dial backoff, injected fault
+// delays, latency samples — follows it.
+func (w *World) Clock() clock.Clock { return w.clk }
 
 // Metrics exposes the world's metrics registry: per-rank communication
 // counters ("mpi.rank<r>.*") plus transport-level counters ("mpi.tcp.*"
@@ -231,12 +245,17 @@ func (w *World) SetSendLatencySampling(on bool) {
 	}
 }
 
-// NewWorld creates an in-process world of the given size.
+// NewWorld creates an in-process world of the given size on the real
+// clock.
 func NewWorld(size int) *World {
+	return newInprocWorld(size, nil)
+}
+
+func newInprocWorld(size int, clk clock.Clock) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: NewWorld(%d)", size))
 	}
-	w := newWorldShell(size)
+	w := newWorldShell(size, clk)
 	w.transport = &inprocTransport{w: w}
 	return w
 }
@@ -245,14 +264,14 @@ func NewWorld(size int) *World {
 // messages over TCP loopback sockets with the default binary codec. It
 // binds size listeners on 127.0.0.1 ephemeral ports.
 func NewTCPWorld(size int) (*World, error) {
-	return newTCPWorld(size, wire.CodecBinary)
+	return newTCPWorld(size, wire.CodecBinary, nil)
 }
 
-func newTCPWorld(size int, codec wire.Codec) (*World, error) {
+func newTCPWorld(size int, codec wire.Codec, clk clock.Clock) (*World, error) {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: NewTCPWorld(%d)", size))
 	}
-	w := newWorldShell(size)
+	w := newWorldShell(size, clk)
 	tr, err := newTCPTransport(w, codec)
 	if err != nil {
 		return nil, err
@@ -304,6 +323,12 @@ type Config struct {
 	// injector first. Injected faults are counted under "mpi.fault.*" and
 	// emit FaultInject trace events when a tracer is attached.
 	Fault FaultInjector
+	// Clock, when non-nil, replaces the real clock for everything in the
+	// world that waits or timestamps: receive deadlines, dial backoff,
+	// injected fault delays, latency samples. A clock.NewScaled clock
+	// time-accelerates a live world; a clock.Fake makes tests
+	// deterministic. Nil means clock.Real.
+	Clock clock.Clock
 }
 
 // NewWorldWithConfig creates a world per cfg. It generalizes
@@ -321,9 +346,9 @@ func NewWorldWithConfig(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("mpi: unknown codec %q (want CodecBinary or CodecGob)", codec)
 	}
 	if cfg.TCP {
-		w, err = newTCPWorld(cfg.Size, codec)
+		w, err = newTCPWorld(cfg.Size, codec, cfg.Clock)
 	} else {
-		w = NewWorld(cfg.Size)
+		w = newInprocWorld(cfg.Size, cfg.Clock)
 	}
 	if err != nil {
 		return nil, err
@@ -376,8 +401,11 @@ func (w *World) Run(fn func(r *Rank) error) error {
 }
 
 // Close shuts the world down, failing all pending and future operations
-// with ErrWorldClosed. It is idempotent.
+// with ErrWorldClosed. It is idempotent. The closed flag flips before
+// any teardown so code sleeping outside the transports (an injected
+// fault delay) can observe the shutdown as soon as it wakes.
 func (w *World) Close() {
+	w.closed.Store(true)
 	for _, b := range w.boxes {
 		b.close()
 	}
@@ -437,11 +465,23 @@ type faultTransport struct {
 func (t *faultTransport) send(env envelope) error {
 	v := t.inj.Fault(env.Src, env.Dst)
 	if v.Delay > 0 {
+		// A world torn down mid-run must not strand the sender in an
+		// injected delay (the PR 6 dial-backoff fix, replayed here): skip
+		// the sleep when the world is already closed, and re-check after
+		// waking — close() cannot interrupt a sleep already in flight, so
+		// the check on the far side keeps the delayed message out of a
+		// dead transport.
+		if t.w.closed.Load() {
+			return ErrWorldClosed
+		}
 		t.delays.Inc()
 		t.emit(env, "delay: "+v.Detail)
 		// No locks are held here; sends already run on the caller's
 		// goroutine, so sleeping models link latency faithfully.
-		time.Sleep(v.Delay)
+		t.w.clk.Sleep(v.Delay)
+		if t.w.closed.Load() {
+			return ErrWorldClosed
+		}
 	}
 	if v.Err != nil {
 		t.errors.Inc()

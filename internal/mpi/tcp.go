@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/mpi/wire"
 	"repro/internal/obs"
 )
@@ -220,8 +221,9 @@ func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
 // and backoff sleeps included — lands in "mpi.tcp.dial_latency_s",
 // never in the send-latency histogram.
 func (t *tcpTransport) dial(dst int) (net.Conn, error) {
-	start := time.Now()
-	defer func() { t.dialLat.Add(time.Since(start).Seconds()) }()
+	clk := t.w.clk
+	start := clk.Now()
+	defer func() { t.dialLat.Add(clk.Since(start).Seconds()) }()
 	backoff := tcpDialBackoff
 	var lastErr error
 	for attempt := 0; attempt < tcpDialAttempts; attempt++ {
@@ -230,13 +232,13 @@ func (t *tcpTransport) dial(dst int) (net.Conn, error) {
 				return nil, ErrWorldClosed
 			}
 			t.dialRetry.Inc()
-			time.Sleep(backoff)
+			clk.Sleep(backoff)
 			backoff *= 2
 			if t.closed() {
 				return nil, ErrWorldClosed
 			}
 		}
-		conn, err := net.DialTimeout("tcp", t.addrs[dst], tcpDialTimeout)
+		conn, err := net.DialTimeout("tcp", t.addrs[dst], clock.RealTimeout(clk, tcpDialTimeout))
 		if err != nil {
 			lastErr = err
 			continue
@@ -374,15 +376,16 @@ func (t *tcpTransport) flushLoop(cc *tcpConn, conn net.Conn, enc *wire.Encoder) 
 		buf := enc.Take()
 		cc.mu.Unlock()
 
-		_ = conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+		clk := t.w.clk
+		_ = conn.SetWriteDeadline(clock.RealDeadline(clk, tcpWriteTimeout))
 		sample := t.latOn.Load()
 		var start time.Time
 		if sample {
-			start = time.Now()
+			start = clk.Now()
 		}
 		_, err := conn.Write(buf)
 		if err == nil && sample {
-			t.sendLat.Add(time.Since(start).Seconds())
+			t.sendLat.Add(clk.Since(start).Seconds())
 		}
 
 		cc.mu.Lock()

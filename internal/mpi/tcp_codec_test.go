@@ -93,7 +93,7 @@ func TestTCPMixedCodecMesh(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			got, err := w.boxes[1].popDeadline(worldCommID, 0, 5, time.Now().Add(2*time.Second))
+			got, err := w.boxes[1].popDeadline(w.clk, worldCommID, 0, 5, time.Now().Add(2*time.Second))
 			if err != nil {
 				t.Fatal(err)
 			}

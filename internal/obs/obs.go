@@ -22,7 +22,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"repro/internal/clock"
 )
 
 // Kind is the event taxonomy. The set mirrors the runtime's moving parts:
@@ -233,8 +234,7 @@ func New(nranks int, opts ...Option) *Tracer {
 		o(t)
 	}
 	if t.clock == nil {
-		start := time.Now()
-		t.clock = func() float64 { return time.Since(start).Seconds() }
+		t.clock = clock.Seconds(clock.Real{})
 	}
 	return t
 }

@@ -11,11 +11,15 @@ import "time"
 // every swap point is cheap.
 func DefaultProbe() float64 {
 	const ops = 200_000
+	// The probe's whole purpose is to observe the real host: a fake or
+	// scaled clock here would fabricate the compute rate being measured.
+	//swapvet:ignore clockdiscipline -- measures real host compute rate by design
 	start := time.Now()
 	x := 1.000000001
 	for i := 0; i < ops; i++ {
 		x = x*1.0000001 + 1e-9
 	}
+	//swapvet:ignore clockdiscipline -- measures real host compute rate by design
 	elapsed := time.Since(start).Seconds()
 	if elapsed <= 0 {
 		elapsed = 1e-9

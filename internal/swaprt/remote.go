@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // wireRequest is the swapmgr wire envelope: one request per connection —
@@ -31,6 +33,16 @@ type RemoteDecider struct {
 	Addr string
 	// Timeout bounds each round trip; zero means 5 s.
 	Timeout time.Duration
+	// Clock translates the round-trip budget into real socket deadlines
+	// (a scaled clock compresses it); nil means clock.Real.
+	Clock clock.Clock
+}
+
+func (d RemoteDecider) clk() clock.Clock {
+	if d.Clock != nil {
+		return d.Clock
+	}
+	return clock.Real{}
 }
 
 func (d RemoteDecider) roundTrip(req wireRequest) (wireResponse, error) {
@@ -38,12 +50,12 @@ func (d RemoteDecider) roundTrip(req wireRequest) (wireResponse, error) {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", d.Addr, timeout)
+	conn, err := net.DialTimeout("tcp", d.Addr, clock.RealTimeout(d.clk(), timeout))
 	if err != nil {
 		return wireResponse{}, fmt.Errorf("swaprt: dial manager: %w", err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(timeout))
+	_ = conn.SetDeadline(clock.RealDeadline(d.clk(), timeout))
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
 		return wireResponse{}, fmt.Errorf("swaprt: send manager request: %w", err)
 	}
@@ -118,6 +130,10 @@ func ServeManager(ln net.Listener, decider Decider, logf func(string, ...any)) e
 
 func serveConn(conn net.Conn, decider Decider, logf func(string, ...any)) {
 	defer conn.Close()
+	// A generous server-side cap on one request's whole conversation. It
+	// is a leak guard against wedged clients, not a tuned wait, so it
+	// stays on the wall clock even in accelerated runs.
+	//swapvet:ignore clockdiscipline -- server-side leak guard; kernel deadline is wall-clock by nature
 	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	var req wireRequest
 	if err := json.NewDecoder(conn).Decode(&req); err != nil {

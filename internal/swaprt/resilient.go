@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -127,6 +128,12 @@ type ResilientDecider struct {
 	// selects 5s.
 	OpenTimeout time.Duration
 
+	// Clock drives every wait in the decider — retry backoff, the open
+	// circuit's timeout, the probe ticker — so tests advance a fake
+	// clock instead of paying the schedule in real seconds. Nil means
+	// clock.Real.
+	Clock clock.Clock
+
 	// Tracer receives Circuit transition events (nil-safe).
 	Tracer *obs.Tracer
 	// Logf, if set, receives retry/fallback diagnostics.
@@ -183,6 +190,13 @@ func (d *ResilientDecider) openTimeout() time.Duration {
 		return d.OpenTimeout
 	}
 	return 5 * time.Second
+}
+
+func (d *ResilientDecider) clk() clock.Clock {
+	if d.Clock != nil {
+		return d.Clock
+	}
+	return clock.Real{}
 }
 
 func (d *ResilientDecider) fallback() Decider {
@@ -248,7 +262,7 @@ func (d *ResilientDecider) admitPrimary() bool {
 			// The background prober owns recovery.
 			return false
 		}
-		if time.Since(d.openedAt) >= d.openTimeout() {
+		if d.clk().Since(d.openedAt) >= d.openTimeout() {
 			d.state = circuitHalfOpen
 			d.emit("half-open", "open timeout elapsed; admitting one trial")
 			return true
@@ -265,7 +279,7 @@ func (d *ResilientDecider) tryPrimary(req DecideRequest) (DecideResponse, error)
 	for i := 0; i < d.maxAttempts(); i++ {
 		if i > 0 {
 			d.count("retries")
-			time.Sleep(d.backoff(i))
+			d.clk().Sleep(d.backoff(i))
 		}
 		resp, err := d.Primary.Decide(req)
 		if err == nil {
@@ -293,7 +307,7 @@ func (d *ResilientDecider) onFailure(err error) {
 	switch d.state {
 	case circuitHalfOpen:
 		d.state = circuitOpen
-		d.openedAt = time.Now()
+		d.openedAt = d.clk().Now()
 		d.emit("open", "half-open trial failed: "+err.Error())
 	case circuitClosed:
 		d.fails++
@@ -301,7 +315,7 @@ func (d *ResilientDecider) onFailure(err error) {
 			return
 		}
 		d.state = circuitOpen
-		d.openedAt = time.Now()
+		d.openedAt = d.clk().Now()
 		d.emit("open", err.Error())
 		if _, ok := d.Primary.(Pinger); ok && !d.probing && !d.closed {
 			d.probing = true
@@ -324,7 +338,7 @@ func (d *ResilientDecider) emit(transition, reason string) {
 // probeLoop pings the primary until it answers or the decider is closed.
 func (d *ResilientDecider) probeLoop(stop <-chan struct{}) {
 	p := d.Primary.(Pinger)
-	t := time.NewTicker(d.probeInterval())
+	t := d.clk().NewTicker(d.probeInterval())
 	defer t.Stop()
 	for {
 		select {

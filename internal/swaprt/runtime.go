@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -50,9 +51,16 @@ type Config struct {
 	// zero (e.g. an idealized zero-latency link).
 	LinkLatency   *float64
 	LinkBandwidth *float64
-	// Clock returns seconds since application start; defaults to wall
-	// time. Injectable for tests.
+	// Clock returns seconds since application start; defaults to Time's
+	// timeline. Injectable for tests.
 	Clock func() float64
+	// Time is the scheduling clock behind every wait and duration in the
+	// runtime: transfer/commit deadlines, the handler ticker, decide
+	// timing. Inject a clock.Fake to make tests deterministic or a
+	// clock.NewScaled to time-accelerate a live run (swaprun -accel);
+	// nil means clock.Real. It should match the world's mpi.Config.Clock
+	// so the runtime and the transport share one timeline.
+	Time clock.Clock
 	// Logf, if set, receives runtime diagnostics.
 	Logf func(format string, args ...any)
 	// HandlerInterval, when positive, starts one swap handler per rank —
@@ -104,9 +112,11 @@ func (c Config) fill() Config {
 		bw := 100e6
 		c.LinkBandwidth = &bw
 	}
+	if c.Time == nil {
+		c.Time = clock.Real{}
+	}
 	if c.Clock == nil {
-		start := time.Now()
-		c.Clock = func() float64 { return time.Since(start).Seconds() }
+		c.Clock = clock.Seconds(c.Time)
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -410,15 +420,15 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 	if s.tr.Enabled() {
 		t0 = s.tr.Now()
 	}
-	start := time.Now()
+	start := s.cfg.Time.Now()
 
 	// Receive the proposed-epoch-prefixed state, skipping stale payloads
 	// left over from earlier aborted proposals by the same sender.
-	deadline := time.Now().Add(s.cfg.TransferTimeout)
+	deadline := start.Add(s.cfg.TransferTimeout)
 	var blob []byte
 	recvOK := false
 	for {
-		remaining := time.Until(deadline)
+		remaining := s.cfg.Time.Until(deadline)
 		if remaining <= 0 {
 			break
 		}
@@ -462,9 +472,9 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 	if err := world.Send(a.stateFrom, tagStateAck, ack[:]); err != nil {
 		s.cfg.Logf("rank %d state ack send: %v", s.r.Rank(), err)
 	}
-	commitDeadline := time.Now().Add(s.cfg.CommitTimeout)
+	commitDeadline := s.cfg.Time.Now().Add(s.cfg.CommitTimeout)
 	for {
-		remaining := time.Until(commitDeadline)
+		remaining := s.cfg.Time.Until(commitDeadline)
 		if remaining <= 0 {
 			s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
 				Peer: a.stateFrom, Detail: "commit timed out"})
@@ -494,7 +504,7 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 			s.cfg.Logf("rank %d swap-in aborted by leader (epoch %d)", s.r.Rank(), a.epoch)
 			return false, nil
 		}
-		recvDur := time.Since(start)
+		recvDur := s.cfg.Time.Since(start)
 		s.stats.stateRecvNS.Add(uint64(recvDur))
 		if s.tr.Enabled() {
 			s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
@@ -560,9 +570,9 @@ func (s *Session) swapPointActive() error {
 		if s.tr.Enabled() {
 			t0 = s.tr.Now()
 		}
-		decideStart := time.Now()
+		decideStart := s.cfg.Time.Now()
 		resp, err := s.mgr.decide(s.epoch, now, s.activeSet, rates, s.r.Size(), iterTime, swapTime)
-		decideDur := time.Since(decideStart)
+		decideDur := s.cfg.Time.Since(decideStart)
 		if err != nil {
 			return err
 		}
@@ -763,7 +773,7 @@ func (s *Session) transferOut(sw SwapDirective, newEpoch uint64) error {
 	if s.tr.Enabled() {
 		t0 = s.tr.Now()
 	}
-	start := time.Now()
+	start := s.cfg.Time.Now()
 	data := s.encCache // reuse the leader's size-estimate encoding
 	if data == nil {
 		var err error
@@ -780,9 +790,9 @@ func (s *Session) transferOut(sw SwapDirective, newEpoch uint64) error {
 	if err := world.Send(sw.In, tagState, payload); err != nil {
 		return fmt.Errorf("state send: %w", err)
 	}
-	deadline := time.Now().Add(s.cfg.TransferTimeout)
+	deadline := s.cfg.Time.Now().Add(s.cfg.TransferTimeout)
 	for {
-		remaining := time.Until(deadline)
+		remaining := s.cfg.Time.Until(deadline)
 		if remaining <= 0 {
 			return fmt.Errorf("no ack from rank %d within %s", sw.In, s.cfg.TransferTimeout)
 		}
@@ -798,7 +808,7 @@ func (s *Session) transferOut(sw SwapDirective, newEpoch uint64) error {
 		}
 		break
 	}
-	sendDur := time.Since(start)
+	sendDur := s.cfg.Time.Since(start)
 	s.stats.stateBytes.Add(uint64(len(data)))
 	s.stats.stateSendNS.Add(uint64(sendDur))
 	if s.tr.Enabled() {
@@ -816,7 +826,7 @@ func (s *Session) transferOut(sw SwapDirective, newEpoch uint64) error {
 // a trace must not show probes the decision history never saw; failed
 // reports are counted and tagged instead.
 func handlerLoop(rank int, cfg Config, rep Reporter, rc *runCounters, stop <-chan struct{}) {
-	t := time.NewTicker(cfg.HandlerInterval)
+	t := cfg.Time.NewTicker(cfg.HandlerInterval)
 	defer t.Stop()
 	for {
 		select {

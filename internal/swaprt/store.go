@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // The checkpoint store models the paper's checkpoint/restart technique
@@ -50,6 +52,7 @@ type StoreServer struct {
 	blobs       map[string][]byte
 	logf        func(string, ...any)
 	connTimeout time.Duration
+	clock       clock.Clock
 }
 
 // NewStoreServer creates an empty store. logf may be nil.
@@ -63,6 +66,18 @@ func NewStoreServer(logf func(string, ...any)) *StoreServer {
 // SetConnTimeout bounds each connection's whole conversation (one
 // operation). <= 0 restores the 60s default. Set before Serve.
 func (s *StoreServer) SetConnTimeout(d time.Duration) { s.connTimeout = d }
+
+// SetClock installs the clock that translates the connection timeout
+// into a real socket deadline (a scaled clock compresses it). Nil
+// restores clock.Real. Set before Serve.
+func (s *StoreServer) SetClock(c clock.Clock) { s.clock = c }
+
+func (s *StoreServer) clk() clock.Clock {
+	if s.clock != nil {
+		return s.clock
+	}
+	return clock.Real{}
+}
 
 // Keys reports the stored keys (for inspection and tests).
 func (s *StoreServer) Keys() int {
@@ -88,7 +103,7 @@ func (s *StoreServer) serveConn(conn net.Conn) {
 	if timeout <= 0 {
 		timeout = defaultStoreConnTimeout
 	}
-	_ = conn.SetDeadline(time.Now().Add(timeout))
+	_ = conn.SetDeadline(clock.RealDeadline(s.clk(), timeout))
 	dec := json.NewDecoder(conn)
 	var hdr storeHeader
 	if err := dec.Decode(&hdr); err != nil {
@@ -158,6 +173,17 @@ type StoreClient struct {
 	// RetryBackoff is the sleep before the first retry, doubling each
 	// further retry. <= 0 selects 50ms.
 	RetryBackoff time.Duration
+	// Clock drives the retry backoff and translates Timeout into real
+	// socket deadlines, so tests advance a fake clock instead of paying
+	// the schedule in real seconds. Nil means clock.Real.
+	Clock clock.Clock
+}
+
+func (c StoreClient) clk() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.Real{}
 }
 
 // storeErr is an error the store itself reported in a decoded reply: the
@@ -186,7 +212,7 @@ func (c StoreClient) retry(op func() error) error {
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(backoff)
+			c.clk().Sleep(backoff)
 			backoff *= 2
 		}
 		err = op()
@@ -205,7 +231,7 @@ func (c StoreClient) dial() (net.Conn, time.Duration, error) {
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+	conn, err := net.DialTimeout("tcp", c.Addr, clock.RealTimeout(c.clk(), timeout))
 	if err != nil {
 		return nil, 0, fmt.Errorf("swaprt: dial checkpoint store: %w", err)
 	}
@@ -224,7 +250,7 @@ func (c StoreClient) put(key string, data []byte) error {
 		return err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(timeout))
+	_ = conn.SetDeadline(clock.RealDeadline(c.clk(), timeout))
 	hdr, _ := json.Marshal(storeHeader{Op: "put", Key: key, Size: int64(len(data))})
 	if _, err := conn.Write(hdr); err != nil {
 		return fmt.Errorf("swaprt: store put: %w", err)
@@ -260,7 +286,7 @@ func (c StoreClient) get(key string) ([]byte, error) {
 		return nil, err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(timeout))
+	_ = conn.SetDeadline(clock.RealDeadline(c.clk(), timeout))
 	hdr, _ := json.Marshal(storeHeader{Op: "get", Key: key})
 	if _, err := conn.Write(hdr); err != nil {
 		return nil, fmt.Errorf("swaprt: store get: %w", err)
@@ -294,7 +320,7 @@ func (c Config) NewStoreClient(addr string) StoreClient {
 	if timeout <= 0 {
 		timeout = 3 * time.Second
 	}
-	return StoreClient{Addr: addr, Timeout: timeout}
+	return StoreClient{Addr: addr, Timeout: timeout, Clock: c.Time}
 }
 
 // CheckpointTo writes the session's registered state to the store under

@@ -6,8 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	clockpkg "repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/series"
@@ -116,8 +116,7 @@ type TelemetryHub struct {
 // timestamps every series sample and report.
 func NewTelemetryHub(clock func() float64) *TelemetryHub {
 	if clock == nil {
-		start := time.Now()
-		clock = func() float64 { return time.Since(start).Seconds() }
+		clock = clockpkg.Seconds(clockpkg.Real{})
 	}
 	h := &TelemetryHub{
 		clock:       clock,
