@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-transport figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke smoke-timing clean
+.PHONY: all build vet lint test race bench bench-transport figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke postmortem-smoke smoke-timing clean
 
 all: build vet lint test
 
@@ -33,18 +33,21 @@ bench:
 
 # Zero-allocation gate on the TCP send hot path (DESIGN.md §15): the
 # binary-codec benchmark must report exactly 0 allocs/op, or the pooled
-# wire encoder has regressed into per-send garbage. The awk gate matches
-# the name with or without the GOMAXPROCS suffix (-N) and also fails if
-# the benchmark never ran (compile error, -run filter typo).
+# wire encoder has regressed into per-send garbage. The Causal variant
+# holds the same line with Lamport piggybacking on the wire and the
+# flight recorder attached (DESIGN.md §17) — causal tracing is priced
+# into the gate, not exempted from it. The awk gate matches the names
+# with or without the GOMAXPROCS suffix (-N) and also fails if the
+# benchmarks never ran (compile error, -run filter typo).
 bench-transport:
-	$(GO) test -run '^$$' -bench '^BenchmarkTCPSendDistinctRanks$$' \
+	$(GO) test -run '^$$' -bench '^BenchmarkTCPSendDistinctRanks(Causal)?$$' \
 		-benchmem -benchtime 5000x -count 3 . | tee /tmp/bench-transport.txt
 	@awk ' \
-		$$1 ~ /^BenchmarkTCPSendDistinctRanks(-[0-9]+)?$$/ { ran++; \
+		$$1 ~ /^BenchmarkTCPSendDistinctRanks(Causal)?(-[0-9]+)?$$/ { ran++; \
 			if ($$7+0 != 0) { print "FAIL: " $$7 " allocs/op on the send hot path (want 0)"; bad=1 } } \
-		END { if (!ran) { print "FAIL: benchmark did not run"; exit 1 }; exit bad } \
+		END { if (ran < 6) { print "FAIL: expected 6 benchmark runs, saw " ran; exit 1 }; exit bad } \
 	' /tmp/bench-transport.txt
-	@echo "bench-transport: 0 allocs/op held"
+	@echo "bench-transport: 0 allocs/op held (plain and causal+flight)"
 
 # Regenerate every figure / ablation / extension into results/ as CSV.
 figures:
@@ -121,6 +124,28 @@ mon-smoke:
 	kill $$RUN_PID 2>/dev/null; wait $$RUN_PID 2>/dev/null; \
 	exit $$STATUS
 
+# Post-mortem smoke (DESIGN.md §17): the chaos-smoke plan re-run with
+# causal tracing and the flight recorder armed. The mid-run manager
+# outage forces swap aborts; each abort dumps every rank's recent event
+# window to results/flight/. The gate requires a dump per rank, then
+# feeds the dumps to tracecheck -postmortem, which must merge them into
+# one causally ordered cross-rank timeline whose validations pass and
+# which contains the abort evidence (-require-abort).
+postmortem-smoke:
+	mkdir -p results/flight
+	rm -f results/flight/flight-*.jsonl
+	$(GO) run ./cmd/swaprun -ranks 3 -active 1 -iters 25 -work 5 \
+		-inject '0@0.05:8,1@0:4' \
+		-chaos 'seed=7;die:rank=2,iter=3;mgrdown:after=2,count=6' \
+		-transfer-timeout 2s -accel 25 \
+		-causal -flight-dir results/flight
+	@for r in 0 1 2; do \
+		if [ ! -s results/flight/flight-rank$$r.jsonl ]; then \
+			echo "postmortem-smoke: FAIL - no flight dump for rank $$r"; exit 1; \
+		fi; \
+	done
+	$(GO) run ./cmd/tracecheck -postmortem -require-abort results/flight
+
 # Wall-clock budget on the accelerated smokes (DESIGN.md §16): the two
 # fault-injected end-to-end gates together must finish inside 30s, so a
 # regression that reintroduces real-time waits anywhere on their path
@@ -147,4 +172,4 @@ fuzz:
 # cache to keep swapvet compilation cheap.
 clean:
 	rm -rf results/*.csv results/*.txt results/*.json results/*.jsonl \
-		results/mon-swaprun results/mon-swapmon
+		results/flight results/mon-swaprun results/mon-swapmon

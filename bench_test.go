@@ -16,8 +16,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/loadgen"
 	"repro/internal/mpi"
-	"repro/internal/mpi/wire"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/simkern"
@@ -274,14 +274,14 @@ func BenchmarkMPIPingPong(b *testing.B) {
 // waits for a full large-message encode; with per-destination
 // connections the two streams are independent.
 func BenchmarkTCPSendDistinctRanks(b *testing.B) {
-	benchTCPSendDistinctRanks(b, nil, mpi.CodecBinary)
+	benchTCPSendDistinctRanks(b, nil, mpi.Config{Size: 3, TCP: true})
 }
 
 // BenchmarkTCPSendDistinctRanksGob is the same send path over the
 // fallback gob codec: the delta against the binary benchmark above is
 // the cost the wire package removes from the hot path.
 func BenchmarkTCPSendDistinctRanksGob(b *testing.B) {
-	benchTCPSendDistinctRanks(b, nil, mpi.CodecGob)
+	benchTCPSendDistinctRanks(b, nil, mpi.Config{Size: 3, TCP: true, Codec: mpi.CodecGob})
 }
 
 // BenchmarkTCPSendDistinctRanksTraced is the same send path with an
@@ -291,11 +291,25 @@ func BenchmarkTCPSendDistinctRanksGob(b *testing.B) {
 func BenchmarkTCPSendDistinctRanksTraced(b *testing.B) {
 	tr := obs.New(3, obs.WithLimit(1<<16))
 	tr.Enable()
-	benchTCPSendDistinctRanks(b, tr, mpi.CodecBinary)
+	benchTCPSendDistinctRanks(b, tr, mpi.Config{Size: 3, TCP: true})
 }
 
-func benchTCPSendDistinctRanks(b *testing.B, tr *obs.Tracer, codec wire.Codec) {
-	w, err := mpi.NewWorldWithConfig(mpi.Config{Size: 3, TCP: true, Codec: codec})
+// BenchmarkTCPSendDistinctRanksCausal is the always-on production shape:
+// Lamport piggybacking on the wire (CodecCausal's 16-byte extension)
+// plus the flight recorder observing every event through the sink, with
+// the tracer's own buffering off. The bench-transport gate holds this
+// variant to the same 0 allocs/op as the plain binary codec — the
+// causal extension is encoded into the pooled frame buffer and flight
+// rings store events by value.
+func BenchmarkTCPSendDistinctRanksCausal(b *testing.B) {
+	tr := obs.New(3)
+	rec := flight.New(3, flight.Config{Dir: b.TempDir()})
+	tr.AttachSink(rec)
+	benchTCPSendDistinctRanks(b, tr, mpi.Config{Size: 3, TCP: true, Causal: true})
+}
+
+func benchTCPSendDistinctRanks(b *testing.B, tr *obs.Tracer, cfg mpi.Config) {
+	w, err := mpi.NewWorldWithConfig(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -29,15 +29,15 @@ import (
 
 func main() {
 	var (
-		figFlag = flag.String("fig", "all", "figure to regenerate: 1..9, an ablation/extension ID, 'all', 'ablations' or 'extensions'")
-		seeds   = flag.Int("seeds", 0, "independent repetitions per point (0 = default)")
-		iters   = flag.Int("iters", 0, "application iterations per run (0 = default)")
-		seed    = flag.Int64("seed", 0, "base random seed (0 = default)")
-		format  = flag.String("format", "text", "output format: text, csv, json or plot (ASCII chart)")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		outDir  = flag.String("out", "", "write per-figure files into this directory instead of stdout")
-		list    = flag.Bool("list", false, "list every experiment ID and exit")
-		check   = flag.Bool("check", false, "run the full claim battery (report.Claims) and exit non-zero on failure")
+		figFlag   = flag.String("fig", "all", "figure to regenerate: 1..9, an ablation/extension ID, 'all', 'ablations' or 'extensions'")
+		seeds     = flag.Int("seeds", 0, "independent repetitions per point (0 = default)")
+		iters     = flag.Int("iters", 0, "application iterations per run (0 = default)")
+		seed      = flag.Int64("seed", 0, "base random seed (0 = default)")
+		format    = flag.String("format", "text", "output format: text, csv, json or plot (ASCII chart)")
+		quick     = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		outDir    = flag.String("out", "", "write per-figure files into this directory instead of stdout")
+		list      = flag.Bool("list", false, "list every experiment ID and exit")
+		check     = flag.Bool("check", false, "run the full claim battery (report.Claims) and exit non-zero on failure")
 		live      = flag.Bool("live", false, "run a small live-runtime demo (internal/swaprt over TCP) and print its stats")
 		chaos     = flag.String("chaos", "", "fault plan for the live demo (see internal/mpi/fault); empty for none")
 		accel     = flag.Float64("accel", 1, "with -live: run the runtime on a virtual clock this many times faster than wall time")
@@ -214,7 +214,7 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string, tm clock.Clock) error {
 			return err
 		}
 	}
-	worldCfg := mpi.Config{Size: ranks, TCP: true, Clock: tm}
+	worldCfg := mpi.Config{Size: ranks, TCP: true, Clock: tm, Causal: traceFlags.Causal}
 	if plan != nil {
 		worldCfg.Fault = plan
 	}
@@ -238,6 +238,18 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string, tm clock.Clock) error {
 	if traceFlags.Telemetry {
 		hub = swaprt.NewTelemetryHub(clock.Seconds(tm))
 		world.SetSendLatencySampling(true)
+	}
+	if cz := world.Causal(); cz != nil {
+		hub.SetCausalProbe(func() swaprt.CausalTelemetry {
+			return swaprt.CausalTelemetry{Enabled: true, MaxClock: cz.MaxClock(), Sends: cz.Sends()}
+		})
+	}
+	if rec := traceFlags.Recorder; rec != nil {
+		hub.SetFlightProbe(func() swaprt.FlightTelemetry {
+			st := rec.Status()
+			return swaprt.FlightTelemetry{Enabled: true, Buffered: st.Buffered,
+				Observed: st.Observed, Dumps: st.Dumps, LastDump: st.LastDump, Dir: st.Dir}
+		})
 	}
 	cfg := swaprt.Config{
 		Active:    active,

@@ -115,6 +115,21 @@ func Render(w io.Writer, rep swaprt.TelemetryReport) {
 	fmt.Fprintf(w, "swapmon t=%.2fs epoch=%d active=[%s] quarantined=[%s] circuit=%s\n",
 		rep.Now, rep.Epoch, joinInts(rep.ActiveSet), joinInts(rep.Quarantined), circuit)
 
+	// Causal/flight lines appear only when the run has them armed: the
+	// report fields are omitempty pointers, so pre-causal runtimes (and
+	// recorded reports from them) render exactly as before.
+	if cz := rep.Causal; cz != nil && cz.Enabled {
+		fmt.Fprintf(w, "causal: lamport max=%d sends=%d\n", cz.MaxClock, cz.Sends)
+	}
+	if fl := rep.Flight; fl != nil && fl.Enabled {
+		dump := "-"
+		if fl.Dumps > 0 {
+			dump = fmt.Sprintf("%d (last %q)", fl.Dumps, fl.LastDump)
+		}
+		fmt.Fprintf(w, "flight: buffered=%d observed=%d dumps=%s dir=%s\n",
+			fl.Buffered, fl.Observed, dump, fl.Dir)
+	}
+
 	fmt.Fprintf(w, "%-6s %8s %12s %-44s %s\n", "rank", "iters", "rate", "iter_time", "anomalies")
 	for _, r := range ranks {
 		rate := "-"

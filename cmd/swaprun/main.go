@@ -161,7 +161,7 @@ func main() {
 		log.Printf("chaos: fault plan armed: %s", *chaos)
 	}
 
-	worldCfg := mpi.Config{Size: *ranks, TCP: *tcpWorld, Clock: tm}
+	worldCfg := mpi.Config{Size: *ranks, TCP: *tcpWorld, Clock: tm, Causal: traceFlags.Causal}
 	if plan != nil {
 		// Only a non-nil plan goes into the interface field: a typed nil
 		// would arm an injector that panics on first use.
@@ -190,6 +190,20 @@ func main() {
 			*handler = traceFlags.TelemetryInterval
 		}
 		world.SetSendLatencySampling(true)
+	}
+	if cz := world.Causal(); cz != nil {
+		log.Printf("causal: Lamport clocks armed on %d ranks", *ranks)
+		hub.SetCausalProbe(func() swaprt.CausalTelemetry {
+			return swaprt.CausalTelemetry{Enabled: true, MaxClock: cz.MaxClock(), Sends: cz.Sends()}
+		})
+	}
+	if rec := traceFlags.Recorder; rec != nil {
+		log.Printf("flight: recorder armed, dumps go to %s", traceFlags.FlightDir)
+		hub.SetFlightProbe(func() swaprt.FlightTelemetry {
+			st := rec.Status()
+			return swaprt.FlightTelemetry{Enabled: true, Buffered: st.Buffered,
+				Observed: st.Observed, Dumps: st.Dumps, LastDump: st.LastDump, Dir: st.Dir}
+		})
 	}
 
 	cfg := swaprt.Config{

@@ -152,6 +152,11 @@ func main() {
 		fatal(err)
 	}
 	k.SetTracer(tracer)
+	if traceFlags.Causal && tracer != nil {
+		// Simulated causal clocks stamp the same MsgSend/MsgRecv
+		// happens-before edges as a live -causal world, on virtual time.
+		k.SetCausal(obs.NewCausal(*active))
+	}
 	res := technique.Run(plat, strategy.Scenario{Active: *active, App: a, Policy: pol})
 	if err := traceFlags.Write(tracer, func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)

@@ -15,10 +15,21 @@
 // windows from the telemetry slowdown detector. The same trace always
 // produces a byte-identical report, so reports diff cleanly across runs.
 //
+// With -postmortem the arguments are per-rank flight-recorder dumps
+// (JSONL files or a directory of them, as written on a swap abort,
+// quarantine, rank panic or world close): tracecheck merges them into a
+// single causally-ordered cross-rank timeline using the Lamport clocks
+// piggybacked on messages, prints it, and runs the causality
+// validations (no recv before its send, per-rank Lamport monotonicity,
+// epoch monotonicity) tolerating the bounded-ring truncation of old
+// events. -require-abort additionally demands swap-abort or quarantine
+// evidence, which CI's postmortem-smoke uses against a chaos run.
+//
 // Example:
 //
 //	swaprun -ranks 2 -active 1 -trace-out run.json && tracecheck run.json
 //	swaprun -ranks 2 -active 1 -events-out run.jsonl && tracecheck -analyze run.jsonl
+//	swaprun -chaos '...' -causal -flight-dir flight && tracecheck -postmortem flight
 package main
 
 import (
@@ -34,9 +45,19 @@ func main() {
 	noDecision := flag.Bool("no-decision", false, "skip the SwapDecision payload requirement (traces from runs that never reach a decision point)")
 	chaosCheck := flag.Bool("chaos", false, "require fault-injection evidence: a Quarantine event and a Circuit open followed by a close")
 	analyze := flag.Bool("analyze", false, "treat the argument as a JSONL event log and print the offline analysis report")
+	postmortem := flag.Bool("postmortem", false, "treat the arguments as flight-recorder dumps (files or a directory) and reconstruct the causal cross-rank timeline")
+	requireAbort := flag.Bool("require-abort", false, "with -postmortem, require swap-abort or quarantine evidence in the merged timeline")
 	flag.Parse()
+	if *postmortem {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: tracecheck -postmortem [-require-abort] <flight-dir | dump.jsonl...>")
+			os.Exit(2)
+		}
+		runPostmortem(flag.Args(), *requireAbort)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-no-decision|-chaos] <trace.json> | tracecheck -analyze <events.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-no-decision|-chaos] <trace.json> | tracecheck -analyze <events.jsonl> | tracecheck -postmortem <flight-dir>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)

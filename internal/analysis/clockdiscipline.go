@@ -18,6 +18,11 @@ var clockPkgs = map[string]bool{
 	"repro/internal/mpi/wire":   true,
 	"repro/internal/obs":        true,
 	"repro/internal/obs/series": true,
+	// Flight-dump markers are timestamped: on a simulated or accelerated
+	// run they must carry the injected timeline (Config.Clock), not the
+	// wall clock, or the post-mortem merge misorders the marker against
+	// the virtual-time events around it.
+	"repro/internal/obs/flight": true,
 	"repro/internal/core":       true,
 	"repro/internal/strategy":   true,
 }

@@ -139,6 +139,10 @@ func TestAnalyzerScoping(t *testing.T) {
 		{analysis.ObsDiscipline, "repro/internal/swaprt", true},
 		{analysis.ObsDiscipline, "repro/internal/simkern", true},
 		{analysis.ObsDiscipline, "repro/internal/obs/series", true},
+		// The flight recorder sits on the tracer's emit hot path and
+		// dumps during crash handling; stray prints there would
+		// interleave with the output being rescued.
+		{analysis.ObsDiscipline, "repro/internal/obs/flight", true},
 		// monclient (and any future swapmon subpackage) must render onto
 		// caller-supplied writers; the swapmon main package is the UI.
 		{analysis.ObsDiscipline, "repro/cmd/swapmon/monclient", true},
@@ -150,6 +154,9 @@ func TestAnalyzerScoping(t *testing.T) {
 		{analysis.ClockDiscipline, "repro/internal/mpi/fault", true},
 		{analysis.ClockDiscipline, "repro/internal/obs", true},
 		{analysis.ClockDiscipline, "repro/internal/obs/series", true},
+		// Flight-dump markers must be stamped on the injected timeline or
+		// post-mortem merges misorder them against virtual-time events.
+		{analysis.ClockDiscipline, "repro/internal/obs/flight", true},
 		{analysis.ClockDiscipline, "repro/internal/core", true},
 		{analysis.ClockDiscipline, "repro/internal/strategy", true},
 		// internal/clock is the sanctioned wrapper around package time;

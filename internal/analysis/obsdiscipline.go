@@ -18,6 +18,11 @@ var obsPkgs = map[string]bool{
 	"repro/internal/swaprt":     true,
 	"repro/internal/simkern":    true,
 	"repro/internal/obs/series": true,
+	// The flight recorder sits on the tracer's emit hot path (every
+	// event flows through Observe) and dumps during crash handling —
+	// both places where a stray print would interleave with the very
+	// output being rescued. Its diagnostics go through Config.Logf.
+	"repro/internal/obs/flight": true,
 }
 
 // obsApplies also sweeps in swapmon's non-UI subpackages (monclient
@@ -43,7 +48,7 @@ var logFuncs = map[string]bool{
 // Logf.
 var ObsDiscipline = &Analyzer{
 	Name:    "obsdiscipline",
-	Doc:     "forbid fmt/log console printing in the runtime packages (mpi, swaprt, simkern, obs/series, swapmon/monclient); use obs events or cfg.Logf",
+	Doc:     "forbid fmt/log console printing in the runtime packages (mpi, swaprt, simkern, obs/series, obs/flight, swapmon/monclient); use obs events or cfg.Logf",
 	Applies: obsApplies,
 	Run:     runObsDiscipline,
 }

@@ -9,8 +9,8 @@ import (
 )
 
 func bareCalls() time.Duration {
-	start := time.Now()          // want `time\.Now in a clock-disciplined package`
-	time.Sleep(time.Millisecond) // want `time\.Sleep in a clock-disciplined package`
+	start := time.Now()            // want `time\.Now in a clock-disciplined package`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep in a clock-disciplined package`
 	<-time.After(time.Millisecond) // want `time\.After in a clock-disciplined package`
 	return time.Since(start)       // want `time\.Since in a clock-disciplined package`
 }
@@ -53,4 +53,21 @@ func legalTimeUse() time.Time {
 	d := 3 * time.Second
 	_ = d.Seconds()
 	return time.Date(2003, 6, 22, 0, 0, 0, 0, time.UTC)
+}
+
+// flightMarker mirrors the flight recorder's dump-marker shape: the
+// marker timestamp must come from the injected clock so post-mortem
+// merges order it correctly against virtual-time events. Defaulting the
+// Config.Clock field to the wall clock inline is the leak.
+type flightConfig struct {
+	Clock func() float64
+}
+
+func flightMarkerClock(cfg flightConfig) float64 {
+	if cfg.Clock == nil {
+		cfg.Clock = func() float64 { // the dodge: a wall-clock lambda instead of clock.Seconds
+			return float64(time.Now().UnixNano()) / 1e9 // want `time\.Now in a clock-disciplined package`
+		}
+	}
+	return cfg.Clock()
 }

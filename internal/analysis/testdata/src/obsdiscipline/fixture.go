@@ -49,3 +49,14 @@ func render(w io.Writer, epoch uint64, quarantined []int) {
 		fmt.Fprintln(w, "quarantined:", r)
 	}
 }
+
+// flightDump mirrors the flight recorder's dump path: it runs during
+// crash handling, so failures must go to the injected logf — printing
+// from here would interleave with the output being rescued.
+func flightDump(reason string, err error) {
+	if err != nil {
+		logf("flight: dump %q: %v", reason, err)              // sanctioned: injected sink
+		fmt.Printf("flight: dump %q failed: %v", reason, err) // want `fmt\.Printf in a runtime package`
+		log.Printf("flight: dump %q failed", reason)          // want `log\.Printf in a runtime package`
+	}
+}

@@ -100,14 +100,22 @@ func (c *Comm) send(to, tag int, data []byte) error {
 	if tr.Enabled() {
 		t0 = tr.Now()
 	}
+	env := envelope{Comm: c.id, Src: c.me, Dst: c.members[to], Tag: tag, Data: data}
+	if cz := c.w.causal; cz != nil {
+		// Lamport tick + sequence, stamped before the transport so the
+		// receiver's merge always sees the sender's clock at send time.
+		env.LC, env.Seq = cz.OnSend(c.me)
+	}
 	start := c.w.clk.Now()
-	err := c.w.transport.send(envelope{
-		Comm: c.id, Src: c.me, Dst: c.members[to], Tag: tag, Data: data,
-	})
+	err := c.w.transport.send(env)
 	ctr.sendBlock.Add(uint64(c.w.clk.Since(start)))
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.KindMPISend, Rank: c.me, T: t0,
 			Dur: tr.Now() - t0, Peer: c.members[to], Bytes: int64(len(data))})
+		if env.LC != 0 {
+			tr.Emit(obs.Event{Kind: obs.KindMsgSend, Rank: c.me, T: t0,
+				Peer: c.members[to], Bytes: int64(len(data)), LC: env.LC, Seq: env.Seq})
+		}
 	}
 	if err != nil {
 		return err
@@ -144,11 +152,7 @@ func (c *Comm) recv(from, tag int) ([]byte, Status, error) {
 	if err != nil {
 		return nil, Status{}, err
 	}
-	if tr.Enabled() {
-		// Dur is the time this rank spent blocked waiting for the message.
-		tr.Emit(obs.Event{Kind: obs.KindMPIRecv, Rank: c.me, T: t0,
-			Dur: tr.Now() - t0, Peer: env.Src, Bytes: int64(len(env.Data))})
-	}
+	c.observeRecv(tr, env, t0)
 	ctr := c.w.counters[c.me]
 	ctr.msgsRecv.Inc()
 	ctr.bytesRecv.Add(uint64(len(env.Data)))
@@ -188,10 +192,7 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, Status
 	if err != nil {
 		return nil, Status{}, err
 	}
-	if tr.Enabled() {
-		tr.Emit(obs.Event{Kind: obs.KindMPIRecv, Rank: c.me, T: t0,
-			Dur: tr.Now() - t0, Peer: env.Src, Bytes: int64(len(env.Data))})
-	}
+	c.observeRecv(tr, env, t0)
 	ctr := c.w.counters[c.me]
 	ctr.msgsRecv.Inc()
 	ctr.bytesRecv.Add(uint64(len(env.Data)))
@@ -203,6 +204,28 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, Status
 		}
 	}
 	return env.Data, Status{Source: src, Tag: env.Tag}, nil
+}
+
+// observeRecv emits the MPIRecv event for a matched message and, on a
+// causal world, merges the piggybacked sender clock (Lamport receive
+// rule) and emits the matching MsgRecv edge. t0 is when the receive
+// started waiting; the MsgRecv edge is stamped at match time so it never
+// precedes its send.
+func (c *Comm) observeRecv(tr *obs.Tracer, env envelope, t0 float64) {
+	enabled := tr.Enabled()
+	if enabled {
+		// Dur is the time this rank spent blocked waiting for the message.
+		tr.Emit(obs.Event{Kind: obs.KindMPIRecv, Rank: c.me, T: t0,
+			Dur: tr.Now() - t0, Peer: env.Src, Bytes: int64(len(env.Data))})
+	}
+	if cz := c.w.causal; cz != nil {
+		lc := cz.OnRecv(c.me, env.LC)
+		if enabled && env.LC != 0 {
+			tr.Emit(obs.Event{Kind: obs.KindMsgRecv, Rank: c.me, T: tr.Now(),
+				Peer: env.Src, Bytes: int64(len(env.Data)),
+				LC: lc, Seq: env.Seq, PeerLC: env.LC})
+		}
+	}
 }
 
 // traceOp wraps one collective entry in a duration event when tracing is

@@ -53,6 +53,10 @@ const (
 	// Gob and binary worlds interoperate: the codec is negotiated per
 	// connection by a one-byte stream preamble.
 	CodecGob = wire.CodecGob
+	// CodecCausal is the binary framing plus the optional causal
+	// extension (Lamport clock + send sequence) on each frame. Selected
+	// automatically by Config.Causal on binary TCP worlds.
+	CodecCausal = wire.CodecCausal
 )
 
 // transport moves envelopes between ranks.
@@ -192,6 +196,7 @@ type World struct {
 	transport transport
 	clk       clock.Clock
 	closed    atomic.Bool
+	causal    *obs.Causal // non-nil when Config.Causal armed the Lamport mesh
 }
 
 func newWorldShell(size int, clk clock.Clock) *World {
@@ -329,6 +334,14 @@ type Config struct {
 	// time-accelerates a live world; a clock.Fake makes tests
 	// deterministic. Nil means clock.Real.
 	Clock clock.Clock
+	// Causal arms per-rank Lamport clocks: every point-to-point message
+	// (and therefore every collective, which is built on them) carries
+	// the sender's (clock, sequence), receivers merge it, and — with a
+	// tracer attached — MsgSend/MsgRecv events record the happens-before
+	// edges. On binary TCP worlds this upgrades the codec to CodecCausal
+	// (preamble-negotiated, so causal and non-causal worlds still
+	// interoperate); gob worlds carry the context as envelope fields.
+	Causal bool
 }
 
 // NewWorldWithConfig creates a world per cfg. It generalizes
@@ -343,7 +356,10 @@ func NewWorldWithConfig(cfg Config) (*World, error) {
 		codec = wire.CodecBinary
 	}
 	if !codec.Valid() {
-		return nil, fmt.Errorf("mpi: unknown codec %q (want CodecBinary or CodecGob)", codec)
+		return nil, fmt.Errorf("mpi: unknown codec %q (want CodecBinary, CodecGob or CodecCausal)", codec)
+	}
+	if cfg.Causal && codec == wire.CodecBinary {
+		codec = wire.CodecCausal
 	}
 	if cfg.TCP {
 		w, err = newTCPWorld(cfg.Size, codec, cfg.Clock)
@@ -352,6 +368,9 @@ func NewWorldWithConfig(cfg Config) (*World, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Causal {
+		w.causal = obs.NewCausal(cfg.Size)
 	}
 	if cfg.Fault != nil {
 		w.transport = &faultTransport{
@@ -382,6 +401,10 @@ func (w *World) Run(fn func(r *Rank) error) error {
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					// Persist the flight-recorder window before tearing
+					// the world down: the panic is exactly the moment the
+					// recent-event evidence matters.
+					w.Tracer().DumpFlight(fmt.Sprintf("rank %d panicked: %v", rank, p))
 					// Unblock peers waiting on this rank.
 					w.Close()
 				}
@@ -405,12 +428,21 @@ func (w *World) Run(fn func(r *Rank) error) error {
 // any teardown so code sleeping outside the transports (an injected
 // fault delay) can observe the shutdown as soon as it wakes.
 func (w *World) Close() {
-	w.closed.Store(true)
+	first := !w.closed.Swap(true)
 	for _, b := range w.boxes {
 		b.close()
 	}
 	_ = w.transport.close()
+	if first {
+		// The final flight-recorder dump of a run: later dumps overwrite
+		// earlier ones, so this leaves the most complete window on disk.
+		w.Tracer().DumpFlight("world close")
+	}
 }
+
+// Causal reports the world's Lamport-clock mesh (nil unless Config.Causal
+// armed it); telemetry probes read clock progress through it.
+func (w *World) Causal() *obs.Causal { return w.causal }
 
 // Rank is one process's handle on the world.
 type Rank struct {

@@ -21,9 +21,13 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add(append([]byte(nil), genc.Take()...))
 	genc.Close()
+	cenv := env
+	cenv.LC, cenv.Seq = 5, 2
+	f.Add(AppendCausalFrame([]byte{'C'}, &cenv))
 	f.Add([]byte{'Z', 1, 2, 3})
 	f.Add([]byte{'B', 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{'B', 0x40, 0x00, 0x00, 0x01}) // MaxPayload+1
+	f.Add([]byte{'C', 0x80, 0x00, 0x00, 0x04}) // causal flag, truncated extension
 	f.Add([]byte{'B'})
 	f.Add([]byte{})
 

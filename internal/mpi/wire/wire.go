@@ -4,9 +4,11 @@
 // fallback codec behind the same Encoder/Decoder seam.
 //
 // Stream layout: one preamble byte declaring the sender's codec
-// ('B' binary, 'G' gob), then back-to-back frames in that codec for the
-// connection's lifetime. The receiver negotiates by reading the
-// preamble, so a mesh may mix senders using different codecs.
+// ('B' binary, 'G' gob, 'C' binary+causal), then back-to-back frames in
+// that codec for the connection's lifetime. The receiver negotiates by
+// reading the preamble, so a mesh may mix senders using different
+// codecs — including causal senders talking to the same decoder as
+// plain-binary or gob ones.
 //
 // Binary frame (big-endian, 24-byte header):
 //
@@ -16,6 +18,18 @@
 //	[16:20] uint32  Dst  (two's-complement int32)
 //	[20:24] uint32  Tag  (two's-complement int32)
 //	[24:24+n]       payload
+//
+// Causal extension ('C' streams only): MaxPayload leaves the top bit of
+// the length word unused, so a frame carrying causal context sets bit 31
+// of [0:4] and inserts 16 extension bytes between header and payload:
+//
+//	[24:32] uint64  LC   (sender's Lamport clock)
+//	[32:40] uint64  Seq  (sender's send sequence)
+//
+// Frames with LC == 0 are written without the flag even on 'C' streams,
+// and a 'B' decoder treats a flagged length as oversized and errors
+// cleanly instead of desynchronizing — old peers never misparse causal
+// bytes as payload.
 //
 // The Encoder serializes into an in-memory pending buffer that the
 // connection's single writer swaps out (Take) and returns (Recycle), so
@@ -44,6 +58,14 @@ type Envelope struct {
 	Dst  int
 	Tag  int
 	Data []byte
+
+	// Causal piggyback (Lamport clock + send sequence of Src). Zero
+	// means "no causal data": Lamport clocks start at 1, so LC == 0 is
+	// the presence flag. The binary codec only ships these on 'C'
+	// streams; gob carries them as ordinary fields (absent fields decode
+	// to zero, so old gob peers interoperate).
+	LC  uint64
+	Seq uint64
 }
 
 // Codec identifies a stream's encoding; its value is the one-byte
@@ -55,10 +77,13 @@ const (
 	CodecBinary Codec = 'B'
 	// CodecGob is the fallback gob stream of Envelope values.
 	CodecGob Codec = 'G'
+	// CodecCausal is the binary framing plus the optional per-frame
+	// causal extension (Lamport clock + send sequence).
+	CodecCausal Codec = 'C'
 )
 
 // Valid reports whether c names a known codec.
-func (c Codec) Valid() bool { return c == CodecBinary || c == CodecGob }
+func (c Codec) Valid() bool { return c == CodecBinary || c == CodecGob || c == CodecCausal }
 
 func (c Codec) String() string {
 	switch c {
@@ -66,6 +91,8 @@ func (c Codec) String() string {
 		return "binary"
 	case CodecGob:
 		return "gob"
+	case CodecCausal:
+		return "binary+causal"
 	}
 	return fmt.Sprintf("codec(0x%02x)", byte(c))
 }
@@ -75,12 +102,19 @@ const (
 	headerLen = 24
 	// MaxPayload bounds one frame's payload (1 GiB, the top of the
 	// paper's process-size range), so a corrupt length field errors
-	// instead of triggering an absurd allocation.
+	// instead of triggering an absurd allocation. It also reserves the
+	// high bits of the length word; bit 31 is the causal-extension flag.
 	MaxPayload = 1 << 30
+	// causalFlag marks a frame that carries the 16-byte causal
+	// extension after the fixed header ('C' streams only).
+	causalFlag = 1 << 31
+	// causalExtLen is the causal extension size: uint64 LC + uint64 Seq.
+	causalExtLen = 16
 )
 
 // AppendFrame appends env's binary frame to dst and returns the
-// extended slice. It performs no allocation beyond growing dst.
+// extended slice, dropping any causal piggyback (the 'B' framing has no
+// room for it). It performs no allocation beyond growing dst.
 func AppendFrame(dst []byte, env *Envelope) []byte {
 	var hdr [headerLen]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(env.Data)))
@@ -88,6 +122,26 @@ func AppendFrame(dst []byte, env *Envelope) []byte {
 	binary.BigEndian.PutUint32(hdr[12:16], uint32(int32(env.Src)))
 	binary.BigEndian.PutUint32(hdr[16:20], uint32(int32(env.Dst)))
 	binary.BigEndian.PutUint32(hdr[20:24], uint32(int32(env.Tag)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, env.Data...)
+}
+
+// AppendCausalFrame appends env's frame in the 'C' framing: identical
+// to AppendFrame when env carries no causal data, else the length word
+// gains the flag bit and the 16 extension bytes follow the header.
+// Allocation-free beyond growing dst.
+func AppendCausalFrame(dst []byte, env *Envelope) []byte {
+	if env.LC == 0 {
+		return AppendFrame(dst, env)
+	}
+	var hdr [headerLen + causalExtLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(env.Data))|causalFlag)
+	binary.BigEndian.PutUint64(hdr[4:12], env.Comm)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(int32(env.Src)))
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(int32(env.Dst)))
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(int32(env.Tag)))
+	binary.BigEndian.PutUint64(hdr[24:32], env.LC)
+	binary.BigEndian.PutUint64(hdr[32:40], env.Seq)
 	dst = append(dst, hdr[:]...)
 	return append(dst, env.Data...)
 }
@@ -170,6 +224,10 @@ func (e *Encoder) Encode(env *Envelope) error {
 		err := e.genc.Encode(&e.scratch)
 		e.scratch.Data = nil
 		return err
+	}
+	if e.codec == CodecCausal {
+		e.pend = AppendCausalFrame(e.pend, env)
+		return nil
 	}
 	e.pend = AppendFrame(e.pend, env)
 	return nil
@@ -262,7 +320,7 @@ func (d *Decoder) Decode(env *Envelope) error {
 		}
 		c := Codec(b)
 		if !c.Valid() {
-			return fmt.Errorf("wire: unknown codec preamble 0x%02x (want 'B' or 'G')", b)
+			return fmt.Errorf("wire: unknown codec preamble 0x%02x (want 'B', 'G' or 'C')", b)
 		}
 		if c == CodecGob {
 			d.gdec = gob.NewDecoder(d.br)
@@ -286,6 +344,14 @@ func (d *Decoder) Decode(env *Envelope) error {
 		return err // clean EOF at a frame boundary stays io.EOF
 	}
 	n := binary.BigEndian.Uint32(d.hdr[0:4])
+	causal := false
+	if d.codec == CodecCausal && n&causalFlag != 0 {
+		causal = true
+		n &^= causalFlag
+	}
+	// On a 'B' stream a flagged length still lands here and fails the
+	// bound check: an old-peer decoder errors cleanly rather than
+	// misreading the causal extension as payload.
 	if n > MaxPayload {
 		return fmt.Errorf("wire: frame payload %d bytes exceeds MaxPayload %d", n, MaxPayload)
 	}
@@ -293,6 +359,18 @@ func (d *Decoder) Decode(env *Envelope) error {
 	env.Src = int(int32(binary.BigEndian.Uint32(d.hdr[12:16])))
 	env.Dst = int(int32(binary.BigEndian.Uint32(d.hdr[16:20])))
 	env.Tag = int(int32(binary.BigEndian.Uint32(d.hdr[20:24])))
+	env.LC, env.Seq = 0, 0
+	if causal {
+		var ext [causalExtLen]byte
+		if _, err := io.ReadFull(d.br, ext[:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("wire: truncated causal extension: %w", err)
+		}
+		env.LC = binary.BigEndian.Uint64(ext[0:8])
+		env.Seq = binary.BigEndian.Uint64(ext[8:16])
+	}
 	if n == 0 {
 		env.Data = nil
 		return nil

@@ -250,3 +250,124 @@ func TestEncoderPreambleOncePerStream(t *testing.T) {
 		t.Fatalf("second flush starts with %#x, want frame header", second[0])
 	}
 }
+
+// TestGoldenCausalFrame pins the 'C' framing byte for byte: a frame
+// carrying causal context sets bit 31 of the length word and appends
+// [u64 LC][u64 Seq] after the fixed header; a frame without causal data
+// is bit-identical to the 'B' framing.
+func TestGoldenCausalFrame(t *testing.T) {
+	env := Envelope{Comm: 1, Src: 0, Dst: 1, Tag: 7, Data: []byte("hi"), LC: 0x0102, Seq: 0x03}
+	got := AppendCausalFrame(nil, &env)
+	want := []byte{
+		0x80, 0x00, 0x00, 0x02, // length 2 with causal flag (bit 31)
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // comm
+		0x00, 0x00, 0x00, 0x00, // src
+		0x00, 0x00, 0x00, 0x01, // dst
+		0x00, 0x00, 0x00, 0x07, // tag
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x02, // LC
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, // Seq
+		'h', 'i',
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("causal frame bytes\n got %x\nwant %x", got, want)
+	}
+
+	plain := Envelope{Comm: 1, Src: 0, Dst: 1, Tag: 7, Data: []byte("hi")}
+	if !bytes.Equal(AppendCausalFrame(nil, &plain), AppendFrame(nil, &plain)) {
+		t.Fatal("LC==0 causal frame must be bit-identical to the 'B' framing")
+	}
+}
+
+// TestRoundTripCausalCodec mixes causal and non-causal envelopes on one
+// 'C' stream: LC/Seq must survive exactly and absent causal data must
+// decode back to zero.
+func TestRoundTripCausalCodec(t *testing.T) {
+	envs := []Envelope{
+		{Comm: 1, Src: 0, Dst: 1, Tag: 3, Data: []byte("a"), LC: 1, Seq: 1},
+		{Comm: 1, Src: 1, Dst: 0, Tag: 3, Data: []byte("b")}, // non-causal
+		{Comm: 1, Src: 0, Dst: 1, Tag: -7, Data: nil, LC: ^uint64(0), Seq: 1 << 40},
+		{Comm: 1, Src: 2, Dst: 3, Tag: 5, Data: bytes.Repeat([]byte{0xCD}, 100<<10), LC: 9, Seq: 2},
+	}
+	got := roundTripEnvelopes(t, CodecCausal, envs)
+	if len(got) != len(envs) {
+		t.Fatalf("decoded %d envelopes, want %d", len(got), len(envs))
+	}
+	for i := range envs {
+		g, w := got[i], envs[i]
+		if g.LC != w.LC || g.Seq != w.Seq {
+			t.Errorf("envelope %d causal context: got lc=%d seq=%d, want lc=%d seq=%d",
+				i, g.LC, g.Seq, w.LC, w.Seq)
+		}
+		if !bytes.Equal(g.Data, w.Data) || g.Tag != w.Tag {
+			t.Errorf("envelope %d payload/header diverged: %+v", i, g)
+		}
+	}
+}
+
+// TestCausalGobCodec: the gob framing carries LC/Seq as ordinary struct
+// fields, so causal worlds interoperate with gob peers too.
+func TestCausalGobCodec(t *testing.T) {
+	envs := []Envelope{{Comm: 1, Src: 0, Dst: 1, Tag: 2, Data: []byte("x"), LC: 5, Seq: 4}}
+	got := roundTripEnvelopes(t, CodecGob, envs)
+	if got[0].LC != 5 || got[0].Seq != 4 {
+		t.Fatalf("gob dropped causal context: %+v", got[0])
+	}
+}
+
+// TestCausalFlagOldPeerSafety: a causally-flagged frame hitting a plain
+// 'B' decoder must fail the MaxPayload bound cleanly (the flag bit is
+// above MaxPayload), never desynchronize or fabricate an envelope.
+func TestCausalFlagOldPeerSafety(t *testing.T) {
+	env := Envelope{Comm: 1, Src: 0, Dst: 1, Tag: 3, Data: []byte("hi"), LC: 7, Seq: 1}
+	stream := AppendCausalFrame([]byte{'B'}, &env)
+	dec := NewDecoder(bytes.NewReader(stream))
+	var got Envelope
+	err := dec.Decode(&got)
+	if err == nil || !strings.Contains(err.Error(), "exceeds MaxPayload") {
+		t.Fatalf("err = %v, want MaxPayload bound error", err)
+	}
+}
+
+// TestCausalTruncatedExtension cuts a causal frame at every byte: each
+// cut must error (io.EOF at the frame boundary), never hang or produce a
+// phantom envelope.
+func TestCausalTruncatedExtension(t *testing.T) {
+	env := Envelope{Comm: 9, Src: 1, Dst: 2, Tag: 3, Data: []byte("payload"), LC: 11, Seq: 4}
+	full := AppendCausalFrame([]byte{'C'}, &env)
+	for cut := 1; cut < len(full); cut++ {
+		dec := NewDecoder(bytes.NewReader(full[:cut]))
+		var got Envelope
+		if err := dec.Decode(&got); err == nil {
+			t.Fatalf("cut at %d decoded an envelope from a truncated causal stream", cut)
+		}
+	}
+	dec := NewDecoder(bytes.NewReader(full))
+	var got Envelope
+	if err := dec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.LC != 11 || got.Seq != 4 || string(got.Data) != "payload" {
+		t.Fatalf("uncut causal frame decoded wrong: %+v", got)
+	}
+}
+
+// TestCausalDecoderStateReset: after a causal frame, a following
+// non-causal frame must decode with LC/Seq zeroed (no leakage of the
+// previous frame's context).
+func TestCausalDecoderStateReset(t *testing.T) {
+	a := Envelope{Comm: 1, Src: 0, Dst: 1, Tag: 1, Data: []byte("a"), LC: 3, Seq: 2}
+	b := Envelope{Comm: 1, Src: 0, Dst: 1, Tag: 2, Data: []byte("b")}
+	stream := AppendCausalFrame([]byte{'C'}, &a)
+	stream = AppendCausalFrame(stream, &b)
+	dec := NewDecoder(bytes.NewReader(stream))
+	var gotA, gotB Envelope
+	if err := dec.Decode(&gotA); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&gotB); err != nil {
+		t.Fatal(err)
+	}
+	if gotB.LC != 0 || gotB.Seq != 0 {
+		t.Fatalf("causal context leaked across frames: %+v", gotB)
+	}
+}

@@ -106,6 +106,10 @@ type Analysis struct {
 	anomalies  []AnomalyWindow
 	recorded   int // KindAnomaly events present in the trace itself
 	circuit    map[string]int
+
+	hasCausal bool        // trace carries MsgSend/MsgRecv events
+	causal    CausalCheck // validations over the happens-before evidence
+	path      CausalPath  // message-edge critical path
 }
 
 // Analyze digests a (time-sorted) event stream.
@@ -248,8 +252,21 @@ func Analyze(events []Event) *Analysis {
 		}
 		return a.anomalies[i].Rank < a.anomalies[j].Rank
 	})
+
+	// Causal upgrade: when the trace carries message edges, validate them
+	// and walk the real happens-before DAG for the critical path (the
+	// rounds-based numbers above stay as the heuristic comparison).
+	if a.counts[KindMsgSend]+a.counts[KindMsgRecv] > 0 {
+		a.hasCausal = true
+		a.causal = CheckCausality(events)
+		a.path = CausalCriticalPath(events)
+	}
 	return a
 }
+
+// Causality exposes the causal validation result (zero-valued when the
+// trace has no message edges; the bool reports presence).
+func (a *Analysis) Causality() (CausalCheck, bool) { return a.causal, a.hasCausal }
 
 // iterTimes returns rank r's IterEnd timestamps in trace order.
 func iterTimes(events []Event, r int) []float64 {
@@ -331,6 +348,22 @@ func (a *Analysis) WriteReport(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "total: predicted=%.6gs actual=%.6gs ratio=%.4g bytes=%d\n",
 			pred, act, safeDiv(act, pred), bytes)
+	}
+
+	if a.hasCausal {
+		fmt.Fprintf(bw, "\n== causal messaging (happens-before) ==\n")
+		fmt.Fprintf(bw, "sends=%d recvs=%d matched_edges=%d truncated=%d max_clock=%d\n",
+			a.causal.Sends, a.causal.Recvs, a.causal.Matched, a.causal.Truncated, a.causal.MaxClock)
+		fmt.Fprintf(bw, "message-edge critical path: critical=%.6gs ideal=%.6gs stretch=%.4g (edges=%d)\n",
+			a.path.Critical, a.path.Ideal, a.path.Stretch, a.path.Edges)
+		if a.causal.Ok() {
+			fmt.Fprintf(bw, "causality validations: ok\n")
+		} else {
+			fmt.Fprintf(bw, "causality validations: %d violations\n", len(a.causal.Violations))
+			for _, v := range a.causal.Violations {
+				fmt.Fprintf(bw, "  VIOLATION: %s\n", v)
+			}
+		}
 	}
 
 	fmt.Fprintf(bw, "\n== decision latency (s) ==\n")

@@ -13,9 +13,17 @@ import (
 // the deterministic order of Events. This is the machine-diffable log
 // format; the Chrome trace is the visual one.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return WriteEventsJSONL(w, t.Events())
+}
+
+// WriteEventsJSONL writes an explicit event slice in the same
+// one-object-per-line format as WriteJSONL, in the order given. The
+// flight recorder uses it to dump ring snapshots that ReadJSONL (and so
+// tracecheck -postmortem) parse back without a Tracer in the loop.
+func WriteEventsJSONL(w io.Writer, evs []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, ev := range t.Events() {
+	for _, ev := range evs {
 		// Encode via a shim so the kind renders as its name, not a number.
 		if err := enc.Encode(jsonEvent{Event: ev, KindName: ev.Kind.String()}); err != nil {
 			return fmt.Errorf("obs: write jsonl: %w", err)
@@ -141,6 +149,18 @@ func eventArgs(ev Event) map[string]any {
 	put("reason", ev.Reason)
 	put("z", ev.Z)
 	put("detail", ev.Detail)
+	if ev.LC != 0 {
+		args["lc"] = ev.LC
+	}
+	if ev.Seq != 0 {
+		args["seq"] = ev.Seq
+	}
+	if ev.PeerLC != 0 {
+		args["peer_lc"] = ev.PeerLC
+	}
+	if ev.Epoch != 0 {
+		args["epoch"] = ev.Epoch
+	}
 	if len(args) == 0 {
 		return nil
 	}

@@ -73,6 +73,15 @@ const (
 	// sample, IterTime = the rolling mean it broke from, Z = the z-score;
 	// Detail = the monitored series name, e.g. "iter_time").
 	KindAnomaly
+	// KindMsgSend / KindMsgRecv are the causal edges of the trace: one
+	// Lamport-stamped message send (LC = sender clock after the tick,
+	// Seq = sender's per-rank send sequence, Peer = destination) and its
+	// matched receive (LC = receiver clock after the merge, PeerLC = the
+	// piggybacked sender clock, Seq = the sender's sequence, Peer =
+	// source). Together they make the happens-before DAG reconstructible
+	// from a trace or a set of flight-recorder dumps.
+	KindMsgSend
+	KindMsgRecv
 )
 
 var kindNames = [...]string{
@@ -92,6 +101,8 @@ var kindNames = [...]string{
 	KindFaultInject:   "FaultInject",
 	KindRuntimeError:  "RuntimeError",
 	KindAnomaly:       "Anomaly",
+	KindMsgSend:       "MsgSend",
+	KindMsgRecv:       "MsgRecv",
 }
 
 // String implements fmt.Stringer.
@@ -128,6 +139,15 @@ type Event struct {
 	Z        float64 `json:"z,omitempty"`         // anomaly z-score (KindAnomaly)
 
 	Detail string `json:"detail,omitempty"` // free-form (direction, op name, ...)
+
+	// Causal payload (KindMsgSend / KindMsgRecv, and Epoch on runtime
+	// events). All omitempty: traces without causal tracing enabled are
+	// byte-identical to the pre-causal JSONL format. Lamport clocks start
+	// at 1, so LC != 0 doubles as the presence flag.
+	LC     uint64 `json:"lc,omitempty"`      // emitter's Lamport clock after this event
+	Seq    uint64 `json:"seq,omitempty"`     // sender's send sequence for the message
+	PeerLC uint64 `json:"peer_lc,omitempty"` // piggybacked sender clock (KindMsgRecv)
+	Epoch  uint64 `json:"epoch,omitempty"`   // swap epoch the event belongs to
 }
 
 // RankRuntime attributes an event to the runtime itself rather than a
@@ -190,7 +210,22 @@ type Tracer struct {
 	runtime *rankLog // events with Rank < 0 or >= len(ranks)
 	only    []bool   // nil = record every rank; else per-rank filter
 	limit   int      // max buffered events per rank; <=0 = unbounded
+	sink    atomic.Pointer[sinkBox]
 }
+
+// EventSink observes every emitted event independently of the tracer's
+// own buffering. It is the seam the flight recorder
+// (internal/obs/flight) plugs into: attaching a sink makes Enabled()
+// true so emit sites construct events even when full-trace buffering is
+// off, and Observe must therefore be cheap and allocation-free on the
+// hot path. Dump is invoked by DumpFlight on crash-adjacent triggers.
+type EventSink interface {
+	Observe(Event)
+	Dump(reason string) error
+}
+
+// sinkBox wraps the interface so it can live in an atomic.Pointer.
+type sinkBox struct{ s EventSink }
 
 // Option configures a Tracer.
 type Option func(*Tracer)
@@ -253,9 +288,40 @@ func (t *Tracer) Disable() {
 	}
 }
 
-// Enabled reports whether events are being recorded. This is the hot-path
-// guard: a nil check plus one atomic load.
-func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+// Enabled reports whether events are being recorded — by the tracer's
+// own buffers or by an attached sink. This is the hot-path guard: a nil
+// check plus two atomic loads.
+func (t *Tracer) Enabled() bool {
+	return t != nil && (t.enabled.Load() || t.sink.Load() != nil)
+}
+
+// AttachSink routes every subsequent Emit through s in addition to (and
+// independently of) the tracer's own buffering; attach a nil sink to
+// detach. Nil-safe no-op.
+func (t *Tracer) AttachSink(s EventSink) {
+	if t == nil {
+		return
+	}
+	if s == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&sinkBox{s: s})
+}
+
+// DumpFlight asks the attached sink to persist its recent-event window,
+// tagging the dump with reason. It is nil-safe and a no-op without a
+// sink, so crash-adjacent call sites (swap abort, quarantine, panic,
+// world close) never need configuration guards. The sink's own error
+// handling applies; DumpFlight never fails the caller.
+func (t *Tracer) DumpFlight(reason string) {
+	if t == nil {
+		return
+	}
+	if box := t.sink.Load(); box != nil {
+		_ = box.s.Dump(reason)
+	}
+}
 
 // Now reads the tracer clock (0 on a nil tracer). For duration events,
 // read Now at the start, then Emit with T = start and Dur = Now - start.
@@ -279,7 +345,13 @@ func (t *Tracer) Ranks() int {
 // emit sites should still guard with Enabled() so argument construction
 // is skipped too.
 func (t *Tracer) Emit(ev Event) {
-	if !t.Enabled() {
+	if t == nil {
+		return
+	}
+	if box := t.sink.Load(); box != nil {
+		box.s.Observe(ev)
+	}
+	if !t.enabled.Load() {
 		return
 	}
 	rl := t.runtime

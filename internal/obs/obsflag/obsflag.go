@@ -1,8 +1,9 @@
 // Package obsflag binds the standard observability flags shared by the
 // swaprun, swapexp and swapsim commands — the tracing trio -trace-out,
 // -events-out and -trace-ranks, plus the telemetry pair -telemetry and
-// -telemetry-interval and the -metrics-out dump — so every command
-// exports the same formats with the same spelling.
+// -telemetry-interval, the -metrics-out dump, and the post-mortem pair
+// -causal and -flight-dir — so every command exports the same formats
+// with the same spelling.
 package obsflag
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Flags holds the registered tracing flag values after flag.Parse.
@@ -26,6 +28,15 @@ type Flags struct {
 	Telemetry         bool          // enable the live telemetry hub
 	TelemetryInterval time.Duration // snapshot/report cadence
 	MetricsOut        string        // final Prometheus-text metrics dump
+
+	Causal       bool   // arm Lamport causal clocks + MsgSend/MsgRecv events
+	FlightDir    string // flight-recorder dump directory ("" = recorder off)
+	FlightEvents int    // per-rank flight ring capacity (0 = flight.DefaultEvents)
+
+	// Recorder is the flight recorder Tracer attached, nil when
+	// -flight-dir was not given. Commands use it for telemetry probes
+	// and a final explicit dump.
+	Recorder *flight.Recorder
 }
 
 // Register binds the tracing flags to fs (flag.CommandLine in the
@@ -38,11 +49,15 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Telemetry, "telemetry", false, "enable live telemetry (windowed per-rank series, slowdown detection, /telemetry on -debug-addr)")
 	fs.DurationVar(&f.TelemetryInterval, "telemetry-interval", 250*time.Millisecond, "telemetry snapshot cadence (with -telemetry)")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a final Prometheus-text metrics dump file")
+	fs.BoolVar(&f.Causal, "causal", false, "stamp messages with Lamport clocks and trace MsgSend/MsgRecv happens-before edges")
+	fs.StringVar(&f.FlightDir, "flight-dir", "", "enable the crash-safe flight recorder, dumping per-rank JSONL windows to this directory on aborts/panics/close")
+	fs.IntVar(&f.FlightEvents, "flight-events", 0, "flight-recorder ring capacity per rank (0 = default)")
 	return f
 }
 
 // Enabled reports whether any trace output was requested, i.e. whether
-// the run should carry a tracer at all.
+// the run should buffer a full trace. The flight recorder does not count
+// here — it needs a tracer but not trace buffering (see Tracer).
 func (f *Flags) Enabled() bool { return f.TraceOut != "" || f.EventsOut != "" }
 
 // ParseRanks parses a -trace-ranks list like "0,2,5".
@@ -62,12 +77,15 @@ func ParseRanks(spec string) ([]int, error) {
 	return out, nil
 }
 
-// Tracer builds an enabled tracer for a world of nranks ranks honoring
-// the rank filter, or nil (safe everywhere) when no output was
-// requested. Extra options — typically obs.WithClock for simulated
-// runs — are appended after the filter.
+// Tracer builds a tracer for a world of nranks ranks honoring the rank
+// filter, or nil (safe everywhere) when neither trace output nor the
+// flight recorder was requested. Trace buffering is enabled only when an
+// output file was asked for; with -flight-dir alone the tracer exists
+// solely to feed the attached flight recorder, so emit sites construct
+// events but nothing accumulates unbounded. Extra options — typically
+// obs.WithClock for simulated runs — are appended after the filter.
 func (f *Flags) Tracer(nranks int, opts ...obs.Option) (*obs.Tracer, error) {
-	if !f.Enabled() {
+	if !f.Enabled() && f.FlightDir == "" {
 		return nil, nil
 	}
 	if f.Ranks != "" {
@@ -83,7 +101,17 @@ func (f *Flags) Tracer(nranks int, opts ...obs.Option) (*obs.Tracer, error) {
 		opts = append([]obs.Option{obs.WithRanks(ranks)}, opts...)
 	}
 	tr := obs.New(nranks, opts...)
-	tr.Enable()
+	if f.Enabled() {
+		tr.Enable()
+	}
+	if f.FlightDir != "" {
+		f.Recorder = flight.New(nranks, flight.Config{
+			Dir:    f.FlightDir,
+			Events: f.FlightEvents,
+			Clock:  tr.Now,
+		})
+		tr.AttachSink(f.Recorder)
+	}
 	return tr, nil
 }
 

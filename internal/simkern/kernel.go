@@ -30,6 +30,7 @@ type Kernel struct {
 	parked map[*Proc]struct{}
 	nprocs int // live (started, not finished) processes
 	tracer *obs.Tracer
+	causal *obs.Causal
 }
 
 // New returns an empty kernel at virtual time 0.
@@ -52,6 +53,15 @@ func (k *Kernel) SetTracer(t *obs.Tracer) { k.tracer = t }
 
 // Tracer reports the attached tracer (nil when none; nil is safe to use).
 func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
+
+// SetCausal arms Lamport causal clocks for the simulated ranks, so a
+// simulated run emits the same MsgSend/MsgRecv happens-before events —
+// on virtual time — that a live causal world does. Leave nil (the
+// default) to keep traces byte-identical to pre-causal runs.
+func (k *Kernel) SetCausal(c *obs.Causal) { k.causal = c }
+
+// Causal reports the armed causal clocks (nil when causal tracing is off).
+func (k *Kernel) Causal() *obs.Causal { return k.causal }
 
 // Event is a scheduled callback. It can be cancelled until it runs.
 type Event struct {

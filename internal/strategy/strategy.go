@@ -233,6 +233,8 @@ func run(p *platform.Platform, sc Scenario, name string, chunks chunkFunc, bound
 					tr.Emit(obs.Event{Kind: obs.KindIterEnd, Rank: r, T: end,
 						Value: end - start, Peer: d.hosts[r]})
 				}
+				emitCausalBarrier(tr, k.Causal(), sc.Active, finish, computeDone, end,
+					sc.App.BytesPerIter)
 			}
 
 			// Boundary: the technique may swap, rebalance or checkpoint.
@@ -252,6 +254,38 @@ func run(p *platform.Platform, sc Scenario, name string, chunks chunkFunc, bound
 		panic(fmt.Sprintf("strategy: run %s deadlocked: %v", name, stuck))
 	}
 	return d.res
+}
+
+// emitCausalBarrier traces the iteration barrier as explicit Lamport
+// message edges when causal clocks are armed: every non-root rank sends
+// its iteration data to rank 0 at its compute-finish time, and rank 0's
+// completion fans back out at the barrier end. The events use the same
+// MsgSend/MsgRecv format a live -causal world emits, just on virtual
+// timestamps, so post-mortem tooling treats both identically. Without
+// armed clocks (cz nil) nothing is emitted and the trace stays
+// byte-identical to pre-causal runs.
+func emitCausalBarrier(tr *obs.Tracer, cz *obs.Causal, active int, finish []float64,
+	computeDone, end, bytes float64) {
+	if cz == nil || active <= 1 {
+		return
+	}
+	b := int64(bytes)
+	for r := 1; r < active; r++ {
+		lc, seq := cz.OnSend(r)
+		tr.Emit(obs.Event{Kind: obs.KindMsgSend, Rank: r, T: finish[r],
+			Peer: 0, Bytes: b, LC: lc, Seq: seq})
+		rlc := cz.OnRecv(0, lc)
+		tr.Emit(obs.Event{Kind: obs.KindMsgRecv, Rank: 0, T: computeDone,
+			Peer: r, Bytes: b, LC: rlc, Seq: seq, PeerLC: lc})
+	}
+	for r := 1; r < active; r++ {
+		lc, seq := cz.OnSend(0)
+		tr.Emit(obs.Event{Kind: obs.KindMsgSend, Rank: 0, T: computeDone,
+			Peer: r, Bytes: b, LC: lc, Seq: seq})
+		rlc := cz.OnRecv(r, lc)
+		tr.Emit(obs.Event{Kind: obs.KindMsgRecv, Rank: r, T: end,
+			Peer: 0, Bytes: b, LC: rlc, Seq: seq, PeerLC: lc})
+	}
 }
 
 // commPhase starts one transfer per rank at its ready time and blocks the

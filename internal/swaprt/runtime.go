@@ -355,7 +355,7 @@ func RunWithStats(world *mpi.World, cfg Config, body func(s *Session) error) (Ru
 		}
 		if s.active {
 			s.comm = r.CommOf(initial, 0)
-			s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: r.Rank()})
+			s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: r.Rank(), Epoch: s.epoch})
 		}
 		// Whatever happens, release parked spares when this rank exits:
 		// actives finishing normally end the application; an active
@@ -453,7 +453,8 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 	}
 	if !recvOK {
 		s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
-			Peer: a.stateFrom, Detail: "state transfer timed out"})
+			Peer: a.stateFrom, Epoch: a.epoch, Detail: "state transfer timed out"})
+		s.tr.DumpFlight("swap abort: state transfer timed out")
 		s.cfg.Logf("rank %d swap-in aborted: no state from rank %d within %s",
 			s.r.Rank(), a.stateFrom, s.cfg.TransferTimeout)
 		return false, nil
@@ -462,7 +463,8 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 		// A corrupt payload is treated like a failed transfer: do not
 		// acknowledge, so the outgoing rank times out and aborts the swap.
 		s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
-			Peer: a.stateFrom, Detail: "state decode failed: " + err.Error()})
+			Peer: a.stateFrom, Epoch: a.epoch, Detail: "state decode failed: " + err.Error()})
+		s.tr.DumpFlight("swap abort: state decode failed")
 		s.cfg.Logf("rank %d swap-in aborted: state decode: %v", s.r.Rank(), err)
 		return false, nil
 	}
@@ -477,7 +479,8 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 		remaining := s.cfg.Time.Until(commitDeadline)
 		if remaining <= 0 {
 			s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
-				Peer: a.stateFrom, Detail: "commit timed out"})
+				Peer: a.stateFrom, Epoch: a.epoch, Detail: "commit timed out"})
+			s.tr.DumpFlight("swap abort: commit timed out")
 			s.cfg.Logf("rank %d swap-in aborted: no commit from rank %d within %s",
 				s.r.Rank(), a.stateFrom, s.cfg.CommitTimeout)
 			return false, nil
@@ -500,7 +503,8 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 		}
 		if !msg.Commit {
 			s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
-				Peer: a.stateFrom, Detail: "leader aborted"})
+				Peer: a.stateFrom, Epoch: a.epoch, Detail: "leader aborted"})
+			s.tr.DumpFlight("swap abort: leader aborted")
 			s.cfg.Logf("rank %d swap-in aborted by leader (epoch %d)", s.r.Rank(), a.epoch)
 			return false, nil
 		}
@@ -508,7 +512,8 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 		s.stats.stateRecvNS.Add(uint64(recvDur))
 		if s.tr.Enabled() {
 			s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
-				Dur: s.tr.Now() - t0, Peer: a.stateFrom, Bytes: int64(len(blob)), Detail: "in"})
+				Dur: s.tr.Now() - t0, Peer: a.stateFrom, Bytes: int64(len(blob)),
+				Epoch: a.epoch, Detail: "in"})
 		}
 		s.epoch = a.epoch
 		s.activeSet = append([]int(nil), msg.NewSet...)
@@ -516,7 +521,7 @@ func (s *Session) spareSwapIn(a assignment) (bool, error) {
 		s.active = true
 		s.swaps++
 		s.iterStart = s.cfg.Clock()
-		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
+		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank(), Epoch: s.epoch})
 		s.cfg.Logf("rank %d swapped in (epoch %d, state %dB in %s, from rank %d)",
 			s.r.Rank(), s.epoch, len(blob), recvDur.Round(time.Microsecond), a.stateFrom)
 		return true, nil
@@ -551,7 +556,7 @@ func (s *Session) swapPointActive() error {
 	iterTime := now - s.iterStart
 	s.encCache = nil // state may have changed since the last swap point
 	s.stats.swapPoints.Inc()
-	s.tr.EmitNow(obs.Event{Kind: obs.KindIterEnd, Rank: s.r.Rank(), Value: iterTime})
+	s.tr.EmitNow(obs.Event{Kind: obs.KindIterEnd, Rank: s.r.Rank(), Value: iterTime, Epoch: s.epoch})
 	s.cfg.Telemetry.ObserveIteration(s.r.Rank(), now, iterTime)
 
 	// Measurement report: every active rank probes its own host; the
@@ -582,7 +587,7 @@ func (s *Session) swapPointActive() error {
 		if s.tr.Enabled() {
 			ev := obs.Event{Kind: obs.KindSwapDecision, Rank: s.r.Rank(), T: t0,
 				Dur: s.tr.Now() - t0, IterTime: iterTime, SwapTime: swapTime,
-				Swaps: len(resp.Swaps)}
+				Swaps: len(resp.Swaps), Epoch: s.epoch}
 			if e := resp.Eval; e != nil {
 				ev.OldPerf, ev.NewPerf = e.OldPerf, e.NewPerf
 				ev.Payback = e.Payback
@@ -613,7 +618,7 @@ func (s *Session) swapPointActive() error {
 	}
 	if len(plan.Swaps) == 0 {
 		s.iterStart = s.cfg.Clock()
-		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
+		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank(), Epoch: s.epoch})
 		return nil
 	}
 
@@ -631,7 +636,7 @@ func (s *Session) swapPointActive() error {
 				return err
 			}
 			s.tr.EmitNow(obs.Event{Kind: obs.KindManagerAssign, Rank: s.r.Rank(),
-				Peer: sw.In, Detail: fmt.Sprintf("state from rank %d", sw.Out)})
+				Peer: sw.In, Epoch: s.epoch, Detail: fmt.Sprintf("state from rank %d", sw.Out)})
 		}
 	}
 
@@ -646,7 +651,8 @@ func (s *Session) swapPointActive() error {
 		if err := s.transferOut(sw, plan.NewEpoch); err != nil {
 			outcome[i] = outcomeFail
 			s.tr.EmitNow(obs.Event{Kind: obs.KindSwapAbort, Rank: s.r.Rank(),
-				Peer: sw.In, Detail: err.Error()})
+				Peer: sw.In, Epoch: s.epoch, Detail: err.Error()})
+			s.tr.DumpFlight("swap abort: " + err.Error())
 			s.cfg.Logf("rank %d swap to rank %d aborted: %v", s.r.Rank(), sw.In, err)
 		} else {
 			outcome[i] = outcomeOK
@@ -711,7 +717,8 @@ func (s *Session) swapPointActive() error {
 			s.cfg.Telemetry.ObserveAbort()
 			s.cfg.Telemetry.ObserveQuarantine(sw.In)
 			s.tr.EmitNow(obs.Event{Kind: obs.KindQuarantine, Rank: s.r.Rank(), Peer: sw.In,
-				Detail: fmt.Sprintf("swap %d->%d aborted", sw.Out, sw.In)})
+				Epoch: newEpoch, Detail: fmt.Sprintf("swap %d->%d aborted", sw.Out, sw.In)})
+			s.tr.DumpFlight(fmt.Sprintf("spare quarantined: rank %d", sw.In))
 			s.cfg.Logf("rank %d quarantined after failed swap-in (rank %d keeps running)",
 				sw.In, sw.Out)
 		}
@@ -752,7 +759,7 @@ func (s *Session) swapPointActive() error {
 		// Every proposed swap aborted: the old set, epoch and communicator
 		// stay in force; just start the next iteration.
 		s.iterStart = s.cfg.Clock()
-		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
+		s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank(), Epoch: s.epoch})
 		return nil
 	}
 
@@ -761,7 +768,7 @@ func (s *Session) swapPointActive() error {
 	s.epoch = newEpoch
 	s.comm = s.r.CommOf(s.activeSet, s.epoch)
 	s.iterStart = s.cfg.Clock()
-	s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank()})
+	s.tr.EmitNow(obs.Event{Kind: obs.KindIterStart, Rank: s.r.Rank(), Epoch: s.epoch})
 	return nil
 }
 
@@ -813,7 +820,8 @@ func (s *Session) transferOut(sw SwapDirective, newEpoch uint64) error {
 	s.stats.stateSendNS.Add(uint64(sendDur))
 	if s.tr.Enabled() {
 		s.tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.r.Rank(), T: t0,
-			Dur: s.tr.Now() - t0, Peer: sw.In, Bytes: int64(len(data)), Detail: "out"})
+			Dur: s.tr.Now() - t0, Peer: sw.In, Bytes: int64(len(data)),
+			Epoch: newEpoch, Detail: "out"})
 	}
 	s.cfg.Logf("rank %d state shipped (proposed epoch %d, %dB in %s, to rank %d)",
 		s.r.Rank(), newEpoch, len(data), sendDur.Round(time.Microsecond), sw.In)

@@ -53,16 +53,38 @@ type DecisionTelemetry struct {
 	LastPayback  float64          `json:"last_payback,omitempty"`
 }
 
+// CausalTelemetry reports the state of the Lamport causal clocks when
+// the world runs with causal tracing armed.
+type CausalTelemetry struct {
+	Enabled  bool   `json:"enabled"`
+	MaxClock uint64 `json:"max_clock"` // highest Lamport clock across ranks
+	Sends    uint64 `json:"sends"`     // total causally-stamped sends
+}
+
+// FlightTelemetry reports the flight recorder's live state: how much of
+// the bounded ring is populated, how many events it has seen in total,
+// and the dump history.
+type FlightTelemetry struct {
+	Enabled  bool   `json:"enabled"`
+	Buffered int    `json:"buffered"` // events currently held across rings
+	Observed uint64 `json:"observed"` // total events ever observed
+	Dumps    int    `json:"dumps"`    // dumps written so far
+	LastDump string `json:"last_dump,omitempty"`
+	Dir      string `json:"dir,omitempty"`
+}
+
 // TelemetryReport is the full /telemetry JSON document: per-rank
 // snapshots (local observations merged over absorbed remote ones),
 // decision telemetry, and the runtime control state (epoch, active set,
-// quarantine, circuit breaker).
+// quarantine, circuit breaker, causal clocks, flight recorder).
 type TelemetryReport struct {
 	Now         float64           `json:"now"`
 	Epoch       uint64            `json:"epoch"`
 	ActiveSet   []int             `json:"active_set,omitempty"`
 	Quarantined []int             `json:"quarantined,omitempty"`
 	Circuit     string            `json:"circuit,omitempty"` // resilient-decider breaker state
+	Causal      *CausalTelemetry  `json:"causal,omitempty"`
+	Flight      *FlightTelemetry  `json:"flight,omitempty"`
 	Ranks       []RankTelemetry   `json:"ranks"`
 	Decisions   DecisionTelemetry `json:"decisions"`
 }
@@ -99,6 +121,9 @@ type TelemetryHub struct {
 	epoch       uint64
 	quarantined map[int]bool
 	circuit     func() string
+
+	causal func() CausalTelemetry
+	flight func() FlightTelemetry
 
 	decCount   int
 	decSwapCnt int
@@ -281,6 +306,26 @@ func (h *TelemetryHub) SetCircuitProbe(fn func() string) {
 	h.mu.Unlock()
 }
 
+// SetCausalProbe wires the world's Lamport clock state into the report.
+func (h *TelemetryHub) SetCausalProbe(fn func() CausalTelemetry) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.causal = fn
+	h.mu.Unlock()
+}
+
+// SetFlightProbe wires the flight recorder's status into the report.
+func (h *TelemetryHub) SetFlightProbe(fn func() FlightTelemetry) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.flight = fn
+	h.mu.Unlock()
+}
+
 // snapshotLocked renders rank r's current RankTelemetry; callers hold mu.
 func (h *TelemetryHub) snapshotLocked(r int, now float64) RankTelemetry {
 	rs := h.ranks[r]
@@ -359,6 +404,14 @@ func (h *TelemetryHub) Report() TelemetryReport {
 	sort.Ints(rep.Quarantined)
 	if h.circuit != nil {
 		rep.Circuit = h.circuit()
+	}
+	if h.causal != nil {
+		c := h.causal()
+		rep.Causal = &c
+	}
+	if h.flight != nil {
+		f := h.flight()
+		rep.Flight = &f
 	}
 	seen := map[int]bool{}
 	for r := range h.ranks {
