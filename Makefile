@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-transport figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke postmortem-smoke smoke-timing clean
+.PHONY: all build vet lint test race bench bench-transport figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke postmortem-smoke failover-smoke smoke-timing clean
 
 all: build vet lint test
 
@@ -146,6 +146,27 @@ postmortem-smoke:
 	done
 	$(GO) run ./cmd/tracecheck -postmortem -require-abort results/flight
 
+# Manager-failover smoke (DESIGN.md §18): a durable-store run where the
+# chaos plan SIGKILLs the manager after its 4th call — mid two-phase
+# swap, with a proposal already fsynced to the WAL — and restarts it
+# 100ms (virtual) later. The run must finish with the exact fault-free
+# result (swaprun exits non-zero on a corrupted accumulator), and
+# tracecheck -failover requires the restart-recovery evidence in the
+# trace: an MgrCrash, a later MgrRecover whose detail proves a non-empty
+# WAL replay, decision epochs that never step backwards (epoch fencing),
+# and decisions after the recovery. The injected slowdown guarantees a
+# swap proposal lands in the WAL before the kill; the 250ms lease (in
+# virtual time, on the 25x clock) keeps takeover fast.
+failover-smoke:
+	mkdir -p results
+	rm -rf results/failover-store
+	$(GO) run ./cmd/swaprun -ranks 4 -active 2 -iters 80 -work 20 \
+		-inject '1@0.02:8' \
+		-chaos 'seed=7;mgrrestart:after=4,downms=100' \
+		-mgr-store results/failover-store -mgr-lease-ttl 250ms \
+		-accel 25 -trace-out results/trace-failover.json
+	$(GO) run ./cmd/tracecheck -failover results/trace-failover.json
+
 # Wall-clock budget on the accelerated smokes (DESIGN.md §16): the two
 # fault-injected end-to-end gates together must finish inside 30s, so a
 # regression that reintroduces real-time waits anywhere on their path
@@ -172,4 +193,4 @@ fuzz:
 # cache to keep swapvet compilation cheap.
 clean:
 	rm -rf results/*.csv results/*.txt results/*.json results/*.jsonl \
-		results/flight results/mon-swaprun results/mon-swapmon
+		results/flight results/failover-store results/mon-swaprun results/mon-swapmon

@@ -3,17 +3,29 @@
 // (Session.CheckpointTo) and a restarted run reads the state back
 // (Session.RestoreFrom).
 //
+// By default blobs live in memory and die with the process. With -dir
+// each blob is a CRC-framed file written via temp+fsync+rename, so
+// checkpoints survive a store restart and a torn write can never be
+// served back as state.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight operations finish, and the process exits 0. Any other serve
+// failure exits non-zero.
+//
 // Example:
 //
-//	ckptstore -addr 127.0.0.1:7080
+//	ckptstore -addr 127.0.0.1:7080 -dir /var/lib/ckptstore
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/swaprt"
 )
@@ -21,21 +33,46 @@ import (
 func main() {
 	var (
 		addr  = flag.String("addr", "127.0.0.1:7080", "listen address")
+		dir   = flag.String("dir", "", "durable blob directory (empty = in-memory)")
 		quiet = flag.Bool("quiet", false, "suppress per-operation logging")
 	)
 	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	srv := swaprt.NewStoreServer(logf)
+	if *dir != "" {
+		var err error
+		srv, err = swaprt.NewStoreServerDir(*dir, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckptstore:", err)
+			os.Exit(1)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ckptstore:", err)
 		os.Exit(1)
 	}
-	logf := log.Printf
-	if *quiet {
-		logf = nil
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("ckptstore: %s: shutting down", sig)
+		ln.Close()
+	}()
+
+	if *dir != "" {
+		log.Printf("ckptstore: serving on %s (durable dir %s)", ln.Addr(), *dir)
+	} else {
+		log.Printf("ckptstore: serving on %s (in-memory)", ln.Addr())
 	}
-	log.Printf("ckptstore: serving on %s", ln.Addr())
-	if err := swaprt.NewStoreServer(logf).Serve(ln); err != nil {
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("ckptstore: %v", err)
 	}
+	log.Printf("ckptstore: clean shutdown")
 }

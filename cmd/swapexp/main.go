@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -405,9 +406,58 @@ func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, activ
 	}
 	if plan != nil {
 		cfg.TransferTimeout = 2 * time.Second
+		var primary swaprt.Decider = swaprt.GatedDecider{Inner: swaprt.NewLocalDecider(core.Greedy()), Gate: plan.ManagerCall}
+		var resolver func() (swaprt.Decider, error)
+		var onCircuit func(transition, reason string)
+		if plan.HasManagerKills() {
+			// The plan kills the manager for real: run a crash-restartable
+			// supervisor over a per-scenario store so every scenario
+			// exercises WAL replay and lease takeover from a cold directory.
+			dir, err := os.MkdirTemp("", "swapexp-mgr-*")
+			if err != nil {
+				return swaprt.RunStats{}, err
+			}
+			defer os.RemoveAll(dir)
+			sup, err := swaprt.StartManagerSupervisor(swaprt.SupervisorConfig{
+				Dir: dir, Policy: core.Greedy(), LeaseTTL: 250 * time.Millisecond, Clock: tm,
+			})
+			if err != nil {
+				return swaprt.RunStats{}, err
+			}
+			defer sup.Close()
+			for i := 0; sup.Addr() == "" && i < 1000; i++ {
+				tm.Sleep(2 * time.Millisecond)
+			}
+			if sup.Addr() == "" {
+				return swaprt.RunStats{}, fmt.Errorf("manager supervisor never started serving")
+			}
+			plan.SetManagerKiller(sup.Kill)
+			resolver = func() (swaprt.Decider, error) {
+				d, err := sup.Resolve()
+				if err != nil {
+					return nil, err
+				}
+				return swaprt.GatedDecider{Inner: d, Gate: plan.ManagerCall}, nil
+			}
+			onCircuit = sup.RecordCircuit
+			// The lease spans only a few wall milliseconds on the scaled
+			// clock; retry the first resolve briefly so startup scheduler
+			// jitter cannot catch it lapsed before the renewal lands.
+			for i := 0; ; i++ {
+				if primary, err = resolver(); err == nil {
+					break
+				}
+				if i >= 200 {
+					return swaprt.RunStats{}, err
+				}
+				tm.Sleep(5 * time.Millisecond)
+			}
+		}
 		resilient := &swaprt.ResilientDecider{
-			Primary:       swaprt.GatedDecider{Inner: swaprt.NewLocalDecider(core.Greedy()), Gate: plan.ManagerCall},
+			Primary:       primary,
 			Fallback:      swaprt.NewLocalDecider(core.Greedy()),
+			Resolver:      resolver,
+			OnCircuit:     onCircuit,
 			MaxAttempts:   2,
 			FailThreshold: 2,
 			ProbeInterval: 50 * time.Millisecond,
@@ -417,7 +467,9 @@ func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, activ
 		defer resilient.Close()
 		cfg.Decider = resilient
 	}
-	return swaprt.RunWithStats(world, cfg, func(s *swaprt.Session) error {
+	var mu sync.Mutex
+	var corrupt error
+	stats, err := swaprt.RunWithStats(world, cfg, func(s *swaprt.Session) error {
 		iter := 0
 		acc := 0.0
 		s.Register("iter", &iter)
@@ -441,8 +493,20 @@ func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, activ
 				return err
 			}
 		}
+		// The soak's corruption oracle: every surviving active lane must
+		// hold exactly the fault-free accumulator — a manager crash that
+		// double-applied a swap or resurrected stale state shows up here.
+		if s.Active() && acc != float64(iters*active) {
+			mu.Lock()
+			corrupt = fmt.Errorf("rank %d: corrupt accumulator %g, want %d", s.Rank(), acc, iters*active)
+			mu.Unlock()
+		}
 		return nil
 	})
+	if err == nil {
+		err = corrupt
+	}
+	return stats, err
 }
 
 func fatal(err error) {

@@ -11,12 +11,26 @@
 // /telemetry with the fleet-wide telemetry aggregated from the rank
 // snapshots piggybacked on handler reports, and /healthz.
 //
+// With -store the manager becomes crash-safe: every durable transition
+// (epoch proposals and commits, spare assignments, quarantines) is
+// fsynced to a WAL in the store directory before the decision is acked,
+// a leader lease in the same directory fences out stale incarnations,
+// and a restarted manager replays snapshot+WAL instead of starting from
+// amnesia. A second swapmgr pointed at the same -store directory runs as
+// a standby: it waits for the lease and takes over when the leader dies.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, the
+// store is compacted and the lease released, and the process exits 0.
+// Losing the lease (another incarnation fenced us out) or any other
+// serve failure exits non-zero.
+//
 // Example:
 //
-//	swapmgr -addr 127.0.0.1:7070 -policy safe -debug-addr 127.0.0.1:7071
+//	swapmgr -addr 127.0.0.1:7070 -policy safe -store /var/lib/swapmgr
 package main
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -25,11 +39,16 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/swaprt"
+	"repro/internal/swaprt/mgrstore"
 )
 
 // meteredDecider wraps the local decider with registry counters so the
@@ -90,6 +109,8 @@ func main() {
 		policy    = flag.String("policy", "greedy", "swap policy: greedy, safe or friendly")
 		quiet     = flag.Bool("quiet", false, "suppress per-decision logging")
 		debugAddr = flag.String("debug-addr", "", "opt-in HTTP debug endpoint serving expvar and pprof (e.g. 127.0.0.1:7071)")
+		storeDir  = flag.String("store", "", "durable manager store directory: WAL-backed decisions, leader lease, crash recovery")
+		leaseTTL  = flag.Duration("lease-ttl", 2*time.Second, "leader lease duration when -store is set; standbys take over after it expires")
 	)
 	flag.Parse()
 
@@ -131,12 +152,97 @@ func main() {
 		log.Printf("swapmgr: debug endpoint on http://%s (/debug/vars /metrics /telemetry /healthz)", dln.Addr())
 	}
 
-	log.Printf("swapmgr: serving policy %s on %s", pol, ln.Addr())
 	logf := log.Printf
 	if *quiet {
 		logf = nil
 	}
-	if err := swaprt.ServeManager(ln, decider, logf); err != nil {
-		log.Fatalf("swapmgr: %v", err)
+
+	// Durable mode: wrap the decision core so every transition hits the
+	// WAL before the ack, and hold the leader lease for the listen
+	// address. A second daemon on the same -store directory blocks here
+	// as a standby until the lease frees up.
+	var (
+		store     *mgrstore.FileStore
+		owner     string
+		lostLease atomic.Bool
+		stopRenew = make(chan struct{})
+	)
+	if *storeDir != "" {
+		clk := clock.Real{}
+		store, err = mgrstore.Open(*storeDir, clk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swapmgr:", err)
+			os.Exit(1)
+		}
+		owner = fmt.Sprintf("swapmgr-%d", os.Getpid())
+		for {
+			_, err := store.AcquireLease(owner, ln.Addr().String(), *leaseTTL)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, mgrstore.ErrLeaseHeld) {
+				fmt.Fprintln(os.Stderr, "swapmgr:", err)
+				os.Exit(1)
+			}
+			log.Printf("swapmgr: standby: lease held elsewhere, retrying in %s", *leaseTTL/4)
+			clk.Sleep(*leaseTTL / 4)
+		}
+		durable, err := swaprt.NewDurableDecider(decider, store, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swapmgr:", err)
+			os.Exit(1)
+		}
+		log.Printf("swapmgr: durable store %s: replayed %d WAL records, epoch %d",
+			*storeDir, durable.Replayed(), durable.DurableState().Epoch)
+		decider = durable
+		go func() {
+			t := clk.NewTicker(*leaseTTL / 3)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopRenew:
+					return
+				case <-t.C:
+					if _, err := store.AcquireLease(owner, ln.Addr().String(), *leaseTTL); err != nil {
+						log.Printf("swapmgr: lease lost (%v): fenced out, shutting down", err)
+						lostLease.Store(true)
+						ln.Close()
+						return
+					}
+				}
+			}
+		}()
 	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("swapmgr: %s: shutting down", sig)
+		ln.Close()
+	}()
+
+	log.Printf("swapmgr: serving policy %s on %s", pol, ln.Addr())
+	serveErr := swaprt.ServeManager(ln, decider, logf)
+	close(stopRenew)
+	if serveErr != nil && !errors.Is(serveErr, net.ErrClosed) {
+		log.Fatalf("swapmgr: %v", serveErr)
+	}
+	if lostLease.Load() {
+		log.Fatalf("swapmgr: exited because the leader lease was lost")
+	}
+	if store != nil {
+		// Clean handover: compact so the successor replays a snapshot, and
+		// release the lease so it does not have to wait out the TTL.
+		if err := store.Compact(); err != nil {
+			log.Fatalf("swapmgr: compact on shutdown: %v", err)
+		}
+		if err := store.ReleaseLease(owner); err != nil {
+			log.Fatalf("swapmgr: release lease: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Fatalf("swapmgr: close store: %v", err)
+		}
+	}
+	log.Printf("swapmgr: clean shutdown")
 }

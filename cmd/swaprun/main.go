@@ -111,6 +111,8 @@ func main() {
 		transfer = flag.Duration("transfer-timeout", 0, "per-leg state-transfer deadline before a swap aborts (0 = runtime default)")
 		debug    = flag.String("debug-addr", "", "HTTP debug endpoint serving /metrics (Prometheus), /telemetry (JSON) and /healthz (e.g. 127.0.0.1:7081)")
 		accel    = flag.Float64("accel", 1, "time acceleration: run the whole schedule (work, injections, backoffs, timeouts) on a virtual clock this many times faster than wall time")
+		mgrStore = flag.String("mgr-store", "", "durable manager store directory: runs a crash-restartable in-process swapmgr (WAL + leader lease) instead of plain local decisions; required home for mgrkill/mgrrestart chaos")
+		mgrTTL   = flag.Duration("mgr-lease-ttl", 2*time.Second, "manager leader-lease duration (virtual time); a restarted manager waits out the dead leader's lease")
 	)
 	traceFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
@@ -218,8 +220,69 @@ func main() {
 		Tracer:          tracer,
 		Telemetry:       hub,
 	}
+	// A fault plan with mgrkill/mgrrestart rules needs a manager that can
+	// actually die and recover; give it a durable store home if the user
+	// did not name one.
+	storeDir := *mgrStore
+	if storeDir == "" && plan != nil && plan.HasManagerKills() {
+		if storeDir, err = os.MkdirTemp("", "swapmgr-store-*"); err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(storeDir)
+		log.Printf("mgr-store: chaos plan kills the manager; using temporary store %s", storeDir)
+	}
+
 	var primary swaprt.Decider
-	if *manager != "" {
+	var resolver func() (swaprt.Decider, error)
+	var onCircuit func(transition, reason string)
+	if storeDir != "" {
+		// Crash-restartable manager: a supervisor runs WAL-backed swapmgr
+		// incarnations over the store directory, fenced by a leader lease
+		// on the virtual clock. The fault plan's kill rules crash it for
+		// real; the resolver below re-finds the recovered leader.
+		sup, err := swaprt.StartManagerSupervisor(swaprt.SupervisorConfig{
+			Dir: storeDir, Policy: pol, LeaseTTL: *mgrTTL,
+			Clock: tm, Tracer: tracer, Logf: log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer sup.Close()
+		for i := 0; sup.Addr() == "" && i < 1000; i++ {
+			tm.Sleep(2 * time.Millisecond)
+		}
+		if sup.Addr() == "" {
+			fatal(fmt.Errorf("manager supervisor never started serving"))
+		}
+		log.Printf("mgr-store: durable swapmgr on %s (store %s, lease %s)", sup.Addr(), storeDir, *mgrTTL)
+		if plan != nil {
+			plan.SetManagerKiller(sup.Kill)
+		}
+		resolver = func() (swaprt.Decider, error) {
+			d, err := sup.Resolve()
+			if err != nil {
+				return nil, err
+			}
+			if plan != nil {
+				return swaprt.GatedDecider{Inner: d, Gate: plan.ManagerCall}, nil
+			}
+			return d, nil
+		}
+		onCircuit = sup.RecordCircuit
+		// The lease is renewed in virtual time: at high -accel it spans only
+		// a few wall milliseconds, so a cold-start scheduler hiccup can catch
+		// it lapsed an instant before the renewal ticker lands. Retry briefly
+		// rather than failing the run on startup jitter.
+		for i := 0; ; i++ {
+			if primary, err = resolver(); err == nil {
+				break
+			}
+			if i >= 200 {
+				fatal(err)
+			}
+			tm.Sleep(5 * time.Millisecond)
+		}
+	} else if *manager != "" {
 		primary = swaprt.RemoteDecider{Addr: *manager}
 		log.Printf("using remote swap manager at %s", *manager)
 	} else if plan != nil {
@@ -228,12 +291,14 @@ func main() {
 		primary = swaprt.NewLocalDecider(pol)
 	}
 	if primary != nil {
-		if plan != nil {
+		if plan != nil && storeDir == "" {
 			primary = swaprt.GatedDecider{Inner: primary, Gate: plan.ManagerCall}
 		}
 		resilient := &swaprt.ResilientDecider{
 			Primary:       primary,
 			Fallback:      swaprt.NewLocalDecider(pol),
+			Resolver:      resolver,
+			OnCircuit:     onCircuit,
 			MaxAttempts:   2,
 			FailThreshold: 2,
 			ProbeInterval: 50 * time.Millisecond,

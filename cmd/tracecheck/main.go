@@ -8,6 +8,14 @@
 // "close". CI's trace-smoke and chaos-smoke targets run it against
 // fresh swaprun demos.
 //
+// With -failover it requires manager-restart evidence instead: at
+// least one MgrCrash followed (in trace time) by a MgrRecover whose
+// detail proves a WAL replay, decision epochs nondecreasing across the
+// whole run (a fenced stale leader can never re-commit an old epoch),
+// and at least one decision after the recovery showing the world kept
+// swapping under the reborn manager. CI's failover-smoke target runs
+// it against an accelerated run that kills swapmgr mid-swap.
+//
 // With -analyze the argument is a JSONL event log (-events-out) instead:
 // tracecheck replays it offline and prints a deterministic analysis
 // report — swap-overhead attribution per the payback algebra, per-round
@@ -37,6 +45,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/obs"
 )
@@ -44,6 +54,7 @@ import (
 func main() {
 	noDecision := flag.Bool("no-decision", false, "skip the SwapDecision payload requirement (traces from runs that never reach a decision point)")
 	chaosCheck := flag.Bool("chaos", false, "require fault-injection evidence: a Quarantine event and a Circuit open followed by a close")
+	failoverCheck := flag.Bool("failover", false, "require manager-restart evidence: MgrCrash then a WAL-replay MgrRecover, nondecreasing decision epochs, and a post-recovery decision")
 	analyze := flag.Bool("analyze", false, "treat the argument as a JSONL event log and print the offline analysis report")
 	postmortem := flag.Bool("postmortem", false, "treat the arguments as flight-recorder dumps (files or a directory) and reconstruct the causal cross-rank timeline")
 	requireAbort := flag.Bool("require-abort", false, "with -postmortem, require swap-abort or quarantine evidence in the merged timeline")
@@ -57,7 +68,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-no-decision|-chaos] <trace.json> | tracecheck -analyze <events.jsonl> | tracecheck -postmortem <flight-dir>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-no-decision|-chaos|-failover] <trace.json> | tracecheck -analyze <events.jsonl> | tracecheck -postmortem <flight-dir>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -147,11 +158,75 @@ func main() {
 		}
 	}
 
+	crashes, recoveries := 0, 0
+	if *failoverCheck {
+		crashes, recoveries = checkFailover(path, entries)
+	}
+
 	fmt.Printf("tracecheck: %s ok — %d entries, %d decisions (%d with full payback payload)", path, len(entries), decisions, complete)
 	if *chaosCheck {
 		fmt.Printf(", %d quarantines + circuit recovery", quarantines)
 	}
+	if *failoverCheck {
+		fmt.Printf(", %d manager crashes + %d recoveries (WAL replay verified)", crashes, recoveries)
+	}
 	fmt.Println()
+}
+
+// checkFailover enforces the evidence a manager kill/restart run must
+// leave behind: a crash, a later recovery that replayed the WAL, epoch
+// fencing (decision epochs never step backwards), and a decision after
+// the recovery proving the reborn manager kept serving. It fatals on
+// the first violation and returns (crashes, recoveries) on success.
+func checkFailover(path string, entries []map[string]any) (int, int) {
+	firstCrash := math.Inf(1)
+	walRecover := math.Inf(1)
+	crashes, recoveries := 0, 0
+	type decision struct {
+		ts, epoch float64
+	}
+	var decisions []decision
+	for _, e := range entries {
+		name, _ := e["name"].(string)
+		ts, _ := e["ts"].(float64)
+		args, _ := e["args"].(map[string]any)
+		detail, _ := args["detail"].(string)
+		switch name {
+		case obs.KindMgrCrash.String():
+			crashes++
+			firstCrash = math.Min(firstCrash, ts)
+		case obs.KindMgrRecover.String():
+			recoveries++
+			if strings.Contains(detail, "wal-replay") && strings.Contains(detail, "records=") &&
+				!strings.Contains(detail, "records=0 ") && ts >= firstCrash {
+				walRecover = math.Min(walRecover, ts)
+			}
+		case obs.KindSwapDecision.String():
+			epoch, _ := args["epoch"].(float64) // omitted while zero
+			decisions = append(decisions, decision{ts: ts, epoch: epoch})
+		}
+	}
+	if crashes == 0 {
+		fatal(fmt.Errorf("%s: failover run left no MgrCrash event", path))
+	}
+	if math.IsInf(walRecover, 1) {
+		fatal(fmt.Errorf("%s: no MgrRecover after the crash carries WAL-replay evidence (%d recoveries total)", path, recoveries))
+	}
+	sort.SliceStable(decisions, func(i, j int) bool { return decisions[i].ts < decisions[j].ts })
+	post := 0
+	for i, d := range decisions {
+		if i > 0 && d.epoch < decisions[i-1].epoch {
+			fatal(fmt.Errorf("%s: decision epoch stepped backwards %g -> %g at ts %.0f — a stale leader escaped the fence",
+				path, decisions[i-1].epoch, d.epoch, d.ts))
+		}
+		if d.ts > walRecover {
+			post++
+		}
+	}
+	if post == 0 {
+		fatal(fmt.Errorf("%s: no SwapDecision after the WAL-replay recovery (ts %.0f) — the reborn manager never served", path, walRecover))
+	}
+	return crashes, recoveries
 }
 
 // runAnalyze reads a JSONL event log and prints the deterministic

@@ -25,6 +25,10 @@ var clockPkgs = map[string]bool{
 	"repro/internal/obs/flight": true,
 	"repro/internal/core":       true,
 	"repro/internal/strategy":   true,
+	// The durable manager store's lease expiry decides leader failover:
+	// it must run on the injected clock so a fake clock can pin takeover
+	// to the nanosecond and accelerated chaos runs compress the TTL.
+	"repro/internal/swaprt/mgrstore": true,
 }
 
 // bannedTimeFuncs are the package time entry points that read or wait on
@@ -77,6 +81,13 @@ func runClockDiscipline(p *Pass) {
 			}
 			fn, ok := p.Info.Uses[id].(*types.Func)
 			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !bannedTimeFuncs[fn.Name()] {
+				return true
+			}
+			// Methods on time values ((time.Time).After, (time.Time).Sub)
+			// share names with package-level clock reads but are pure value
+			// arithmetic: they compare instants they are handed, they do not
+			// consult the clock.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 				return true
 			}
 			if calledIdents[id] {

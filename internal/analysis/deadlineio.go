@@ -17,6 +17,10 @@ import (
 var deadlinePkgs = map[string]bool{
 	"repro/internal/mpi":    true,
 	"repro/internal/swaprt": true,
+	// The manager store does file I/O only today, but it sits under the
+	// manager wire protocol: any socket it ever grows (e.g. lease
+	// replication) inherits the deadline obligation from day one.
+	"repro/internal/swaprt/mgrstore": true,
 }
 
 // DeadlineIO requires a SetDeadline/SetReadDeadline/SetWriteDeadline call

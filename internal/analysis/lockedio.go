@@ -104,6 +104,13 @@ func (p *Pass) blockOp(n ast.Node, nonBlockingSelects map[ast.Node]bool) *blockR
 		if name := p.fullFuncName(n); name == "(*sync.WaitGroup).Wait" {
 			return &blockReason{n.Pos(), "waits on a sync.WaitGroup"}
 		}
+		// fsync stalls on device flush (milliseconds to seconds on a busy
+		// disk); held across a mutex it serializes every other critical
+		// section on storage latency. The durable manager store's WAL
+		// discipline is write-under-lock, sync-outside-lock.
+		if name := p.fullFuncName(n); name == "(*os.File).Sync" {
+			return &blockReason{n.Pos(), "performs os.File.Sync (fsync)"}
+		}
 		if fn := p.methodOf(n); fn != nil && (fn.Name() == "Read" || fn.Name() == "Write") {
 			if isNetConn(p.recvOf(n)) {
 				return &blockReason{n.Pos(), fmt.Sprintf("performs net.Conn.%s", fn.Name())}

@@ -23,6 +23,10 @@ var obsPkgs = map[string]bool{
 	// both places where a stray print would interleave with the very
 	// output being rescued. Its diagnostics go through Config.Logf.
 	"repro/internal/obs/flight": true,
+	// The manager store runs inside the swapmgr daemon and the harness
+	// supervisor: it sits on the decision path (fsync before every ack),
+	// where a stray print would corrupt the embedding command's stdout.
+	"repro/internal/swaprt/mgrstore": true,
 }
 
 // obsApplies also sweeps in swapmon's non-UI subpackages (monclient

@@ -71,3 +71,11 @@ func flightMarkerClock(cfg flightConfig) float64 {
 	}
 	return cfg.Clock()
 }
+
+// timeValueMethods stays silent: methods on time values share names with
+// package-level clock reads (After, Sub) but are pure instant arithmetic
+// — the lease-expiry comparison shape in the durable manager store.
+func timeValueMethods(expires, now time.Time) bool {
+	_ = expires.Sub(now)
+	return expires.After(now) && !expires.Before(now)
+}

@@ -6,6 +6,7 @@ package fixture
 
 import (
 	"net"
+	"os"
 	"sync"
 )
 
@@ -115,4 +116,33 @@ func callsTransitiveHelper(mu *sync.Mutex, ch chan int) {
 	mu.Lock()
 	defer mu.Unlock()
 	helperIndirect(ch) // want `call to helperIndirect, which calls helperThatSends, which sends on a channel, while a mutex is held`
+}
+
+// walAppendFsyncLocked is the durable-store hazard: an fsync held under
+// the store mutex serializes every append on device flush latency. The
+// sanctioned shape is write-under-lock, sync-outside-lock (see
+// internal/swaprt/mgrstore.FileStore.Append).
+type walStore struct {
+	mu  sync.Mutex
+	wal *os.File
+}
+
+func (s *walStore) appendFsyncLocked(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.wal.Write(frame); err != nil {
+		return err
+	}
+	return s.wal.Sync() // want `performs os\.File\.Sync \(fsync\) while a mutex is held`
+}
+
+// appendSyncOutside is the sanctioned shape and must stay clean.
+func (s *walStore) appendSyncOutside(frame []byte) error {
+	s.mu.Lock()
+	_, err := s.wal.Write(frame)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.wal.Sync()
 }

@@ -13,7 +13,7 @@
 //
 //	spec  := [ "seed=" int ";" ] rule { ";" rule }
 //	rule  := action ":" key "=" val { "," key "=" val }
-//	action:= drop | delay | refuse | close | die | mgrdown
+//	action:= drop | delay | refuse | close | die | mgrdown | mgrkill | mgrrestart
 //
 // Message rules (drop/delay/refuse/close) take src and dst (rank number
 // or "*", default any), after=N (skip the first N matching messages),
@@ -32,9 +32,22 @@
 // N+1..N+M (count=0 = forever after the first N), modeling a swap
 // manager outage with recovery.
 //
+// mgrkill:after=N and mgrrestart:after=N,downms=M are the process-level
+// escalation of mgrdown: when manager call N+1 arrives, the plan invokes
+// the registered manager killer (SetManagerKiller) exactly once — the
+// killer actually tears the manager down (closes its listener, drops its
+// in-memory state), so every later call fails for real until a standby
+// takes over or, for mgrrestart, the killer restarts the manager after M
+// milliseconds of injected-clock downtime and it recovers by WAL replay.
+// The triggering call itself fails with ErrManagerDown. Unlike mgrdown,
+// nothing un-gates automatically: recovery is the restarted manager's
+// job, which is the point.
+//
 // Rules are evaluated in spec order; the first rule that fires decides
 // the message's fate. All counters and the random stream are protected
-// by one mutex, so a Plan is safe for concurrent use from every rank.
+// by one mutex, so a Plan is safe for concurrent use from every rank
+// (the manager killer itself is invoked outside the plan lock, since
+// killing a manager re-enters arbitrary runtime code).
 package fault
 
 import (
@@ -96,6 +109,17 @@ type mgrRule struct {
 	count int
 }
 
+// killRule is one process-level manager kill keyed to the ManagerCall
+// counter. restart=false is mgrkill (down for good, unless a standby
+// exists); restart=true is mgrrestart with `down` of injected-clock
+// downtime before the killer brings a fresh incarnation up.
+type killRule struct {
+	after   int
+	restart bool
+	down    time.Duration
+	fired   bool
+}
+
 // Plan is a parsed, seeded fault plan. It implements mpi.FaultInjector.
 // The zero value is not usable; build plans with Parse.
 type Plan struct {
@@ -104,10 +128,16 @@ type Plan struct {
 	rules []*msgRule
 	dies  []dieRule
 	mgrs  []mgrRule
+	kills []*killRule
 
 	iters    map[int]int // per-rank Advance counters
 	maxIter  int
 	mgrCalls int
+
+	// killer tears the manager down (and, for restart kills, schedules
+	// its comeback). Registered by the runtime harness via
+	// SetManagerKiller; invoked outside p.mu.
+	killer func(restart bool, down time.Duration)
 }
 
 // Parse builds a Plan from a spec string (see the package comment for
@@ -273,6 +303,23 @@ func (p *Plan) parseRule(s string) error {
 			return err
 		}
 		p.mgrs = append(p.mgrs, mgrRule{after: after, count: count})
+	case "mgrkill", "mgrrestart":
+		after, err := getInt("after", 0)
+		if err != nil {
+			return err
+		}
+		r := &killRule{after: after, restart: name == "mgrrestart"}
+		if r.restart {
+			ms, err := getInt("downms", 0)
+			if err != nil {
+				return err
+			}
+			r.down = time.Duration(ms) * time.Millisecond
+		}
+		if err := checkLeftover(); err != nil {
+			return err
+		}
+		p.kills = append(p.kills, r)
 	default:
 		return fmt.Errorf("fault: unknown action %q in rule %q", name, s)
 	}
@@ -359,23 +406,72 @@ func (p *Plan) Dead(rank int) bool {
 // ErrManagerDown when the call lands in an mgrdown window. Both decide
 // requests and recovery probes must route through it so probing drains
 // the outage window deterministically.
+//
+// Kill rules ride the same counter: the first call past a rule's
+// threshold fires the registered manager killer (once per rule) and
+// fails. The killer runs after p.mu is released — it tears down and
+// possibly restarts a live manager, which re-enters runtime code that
+// may itself consult the plan.
 func (p *Plan) ManagerCall() error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.mgrCalls++
-	for _, m := range p.mgrs {
-		if p.mgrCalls <= m.after {
-			continue
+	call := p.mgrCalls
+	var fired *killRule
+	for _, k := range p.kills {
+		if !k.fired && call > k.after {
+			k.fired = true
+			fired = k
+			break
 		}
-		if m.count > 0 && p.mgrCalls > m.after+m.count {
-			continue
-		}
-		return fmt.Errorf("call %d in outage window: %w", p.mgrCalls, ErrManagerDown)
 	}
-	return nil
+	killer := p.killer
+	var outage error
+	for _, m := range p.mgrs {
+		if call <= m.after {
+			continue
+		}
+		if m.count > 0 && call > m.after+m.count {
+			continue
+		}
+		outage = fmt.Errorf("call %d in outage window: %w", call, ErrManagerDown)
+		break
+	}
+	p.mu.Unlock()
+
+	if fired != nil {
+		if killer != nil {
+			killer(fired.restart, fired.down)
+		}
+		kind := "mgrkill"
+		if fired.restart {
+			kind = "mgrrestart"
+		}
+		return fmt.Errorf("call %d fired %s (after=%d): %w", call, kind, fired.after, ErrManagerDown)
+	}
+	return outage
+}
+
+// SetManagerKiller registers the function that actually tears the
+// manager down when a mgrkill/mgrrestart rule fires. restart reports
+// whether a fresh incarnation should come back after down of
+// injected-clock downtime. Without a registered killer the rule still
+// fails the triggering call, degrading to mgrdown:count=1 semantics.
+func (p *Plan) SetManagerKiller(f func(restart bool, down time.Duration)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killer = f
+}
+
+// HasManagerKills reports whether the plan contains mgrkill/mgrrestart
+// rules — the harness uses it to decide whether a supervised,
+// store-backed manager must be stood up for the run.
+func (p *Plan) HasManagerKills() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.kills) > 0
 }
 
 // Empty reports whether the plan has no rules at all (an empty spec).
 func (p *Plan) Empty() bool {
-	return len(p.rules) == 0 && len(p.dies) == 0 && len(p.mgrs) == 0
+	return len(p.rules) == 0 && len(p.dies) == 0 && len(p.mgrs) == 0 && len(p.kills) == 0
 }

@@ -145,3 +145,82 @@ func TestManagerWindow(t *testing.T) {
 		t.Errorf("first call inside after: %v", err)
 	}
 }
+
+func TestManagerKillFiresOnce(t *testing.T) {
+	p := MustParse("mgrkill:after=2")
+	if !p.HasManagerKills() {
+		t.Fatal("HasManagerKills = false with a mgrkill rule")
+	}
+	var fires []bool
+	p.SetManagerKiller(func(restart bool, down time.Duration) {
+		fires = append(fires, restart)
+		if down != 0 {
+			t.Errorf("mgrkill passed down=%v, want 0", down)
+		}
+	})
+	if err := p.ManagerCall(); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	if err := p.ManagerCall(); err != nil {
+		t.Fatalf("call 2: %v", err)
+	}
+	// Call 3 crosses the threshold: the killer fires and the call fails.
+	if err := p.ManagerCall(); !errors.Is(err, ErrManagerDown) {
+		t.Fatalf("call 3: err=%v, want ErrManagerDown", err)
+	}
+	// The rule is one-shot: later calls succeed at the plan level (the
+	// real damage is the killed process, not the gate).
+	if err := p.ManagerCall(); err != nil {
+		t.Fatalf("call 4: %v", err)
+	}
+	if len(fires) != 1 || fires[0] {
+		t.Fatalf("killer fired %v, want exactly one non-restart fire", fires)
+	}
+}
+
+func TestManagerRestartCarriesDowntime(t *testing.T) {
+	p := MustParse("mgrrestart:after=1,downms=40")
+	var gotRestart bool
+	var gotDown time.Duration
+	fired := 0
+	p.SetManagerKiller(func(restart bool, down time.Duration) {
+		fired++
+		gotRestart, gotDown = restart, down
+	})
+	if err := p.ManagerCall(); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	if err := p.ManagerCall(); !errors.Is(err, ErrManagerDown) {
+		t.Fatalf("call 2: err=%v, want ErrManagerDown", err)
+	}
+	if fired != 1 || !gotRestart || gotDown != 40*time.Millisecond {
+		t.Fatalf("killer: fired=%d restart=%v down=%v, want 1/true/40ms", fired, gotRestart, gotDown)
+	}
+}
+
+func TestManagerKillWithoutKiller(t *testing.T) {
+	// No registered killer: the rule still fails the triggering call
+	// (degrading to a one-call outage) instead of panicking.
+	p := MustParse("mgrkill:after=0")
+	if err := p.ManagerCall(); !errors.Is(err, ErrManagerDown) {
+		t.Fatalf("err=%v, want ErrManagerDown", err)
+	}
+	if err := p.ManagerCall(); err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+}
+
+func TestManagerKillParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"mgrkill:downms=5",      // downms only valid on mgrrestart
+		"mgrrestart:downms=x",   // bad number
+		"mgrkill:after=1,foo=2", // unknown key
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+	if MustParse("die:rank=1,iter=0").HasManagerKills() {
+		t.Error("HasManagerKills = true without kill rules")
+	}
+}

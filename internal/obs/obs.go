@@ -82,6 +82,15 @@ const (
 	// from a trace or a set of flight-recorder dumps.
 	KindMsgSend
 	KindMsgRecv
+	// KindMgrCrash / KindMgrRecover bracket one swap-manager incarnation
+	// boundary: a crash (process-level kill, injected or real) and the
+	// successor's recovery. The recover event's Detail carries the
+	// WAL-replay evidence ("wal-replay records=N epoch=E ...") that
+	// tracecheck -failover requires; both are appended after the earlier
+	// kinds so the numeric JSONL encoding of existing traces is
+	// unchanged.
+	KindMgrCrash
+	KindMgrRecover
 )
 
 var kindNames = [...]string{
@@ -103,6 +112,8 @@ var kindNames = [...]string{
 	KindAnomaly:       "Anomaly",
 	KindMsgSend:       "MsgSend",
 	KindMsgRecv:       "MsgRecv",
+	KindMgrCrash:      "MgrCrash",
+	KindMgrRecover:    "MgrRecover",
 }
 
 // String implements fmt.Stringer.

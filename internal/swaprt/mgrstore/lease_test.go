@@ -1,0 +1,140 @@
+package mgrstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// leaseBackends runs a lease test against both Store implementations.
+func leaseBackends(t *testing.T, run func(t *testing.T, s Store, clk *clock.Fake)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		clk := clock.NewFake()
+		run(t, NewMemStore(clk), clk)
+	})
+	t.Run("file", func(t *testing.T) {
+		clk := clock.NewFake()
+		fs, err := Open(t.TempDir(), clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fs.Close() })
+		run(t, fs, clk)
+	})
+}
+
+// TestLeaseTakeoverToTheNanosecond pins the takeover boundary exactly:
+// with the incumbent's lease expiring at T, a rival's acquire at T-1ns
+// is refused and its acquire at T succeeds. The fake clock makes the
+// instant deterministic — failover timing is a comparison on the
+// injected timeline, not a race.
+func TestLeaseTakeoverToTheNanosecond(t *testing.T) {
+	leaseBackends(t, func(t *testing.T, s Store, clk *clock.Fake) {
+		const ttl = time.Second
+		l, err := s.AcquireLease("mgr-0", "127.0.0.1:7070", ttl)
+		if err != nil {
+			t.Fatalf("initial acquire: %v", err)
+		}
+		if l.Owner != "mgr-0" || l.Addr != "127.0.0.1:7070" {
+			t.Fatalf("lease %+v, want mgr-0 at 127.0.0.1:7070", l)
+		}
+
+		clk.Advance(ttl - time.Nanosecond)
+		if _, err := s.AcquireLease("mgr-1", "127.0.0.1:7171", ttl); !errors.Is(err, ErrLeaseHeld) {
+			t.Fatalf("acquire 1ns before expiry: err=%v, want ErrLeaseHeld", err)
+		}
+		if _, held, _ := s.CurrentLease(); !held {
+			t.Fatal("lease reads as free 1ns before expiry")
+		}
+
+		clk.Advance(time.Nanosecond) // now exactly at the expiry instant
+		if _, held, _ := s.CurrentLease(); held {
+			t.Fatal("lease reads as held at the expiry instant")
+		}
+		l2, err := s.AcquireLease("mgr-1", "127.0.0.1:7171", ttl)
+		if err != nil {
+			t.Fatalf("acquire at the expiry instant: %v", err)
+		}
+		if l2.Owner != "mgr-1" || l2.Seq <= l.Seq {
+			t.Fatalf("takeover lease %+v, want mgr-1 with seq > %d (fencing token must advance)", l2, l.Seq)
+		}
+	})
+}
+
+// TestLeaseRenewalExtends proves the incumbent can renew before expiry
+// and the renewal pushes the horizon, keeping the rival out.
+func TestLeaseRenewalExtends(t *testing.T) {
+	leaseBackends(t, func(t *testing.T, s Store, clk *clock.Fake) {
+		const ttl = time.Second
+		if _, err := s.AcquireLease("mgr-0", "a", ttl); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(700 * time.Millisecond)
+		if _, err := s.AcquireLease("mgr-0", "a", ttl); err != nil {
+			t.Fatalf("renewal: %v", err)
+		}
+		// 1s after the original acquire the original lease would have
+		// expired; the renewal keeps it alive.
+		clk.Advance(500 * time.Millisecond)
+		if _, err := s.AcquireLease("mgr-1", "b", ttl); !errors.Is(err, ErrLeaseHeld) {
+			t.Fatalf("rival after renewal: err=%v, want ErrLeaseHeld", err)
+		}
+		clk.Advance(700 * time.Millisecond) // renewal horizon passed
+		if _, err := s.AcquireLease("mgr-1", "b", ttl); err != nil {
+			t.Fatalf("rival after renewal expiry: %v", err)
+		}
+	})
+}
+
+// TestLeaseRelease proves an explicit release opens the door immediately
+// (graceful handover, no expiry wait).
+func TestLeaseRelease(t *testing.T) {
+	leaseBackends(t, func(t *testing.T, s Store, clk *clock.Fake) {
+		if _, err := s.AcquireLease("mgr-0", "a", time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReleaseLease("mgr-0"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AcquireLease("mgr-1", "b", time.Hour); err != nil {
+			t.Fatalf("acquire after release: %v", err)
+		}
+		// A stale owner's release must not evict the new holder.
+		if err := s.ReleaseLease("mgr-0"); err != nil {
+			t.Fatal(err)
+		}
+		if l, held, _ := s.CurrentLease(); !held || l.Owner != "mgr-1" {
+			t.Fatalf("lease %+v held=%v after stale release, want mgr-1 held", l, held)
+		}
+	})
+}
+
+// TestReadLeaseWithoutStore proves the resolver path: a client can read
+// the current leader's address from the directory alone.
+func TestReadLeaseWithoutStore(t *testing.T) {
+	clk := clock.NewFake()
+	dir := t.TempDir()
+	fs, err := Open(dir, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	if _, held, err := ReadLease(dir, clk); err != nil || held {
+		t.Fatalf("empty dir: held=%v err=%v, want free", held, err)
+	}
+	if _, err := fs.AcquireLease("mgr-0", "127.0.0.1:9999", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	l, held, err := ReadLease(dir, clk)
+	if err != nil || !held || l.Addr != "127.0.0.1:9999" {
+		t.Fatalf("ReadLease = %+v held=%v err=%v, want held at 127.0.0.1:9999", l, held, err)
+	}
+	clk.Advance(time.Second)
+	if _, held, _ := ReadLease(dir, clk); held {
+		t.Fatal("ReadLease still held after expiry")
+	}
+}

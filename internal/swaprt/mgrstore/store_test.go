@@ -1,0 +1,185 @@
+package mgrstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestStateApply pins the replay rule shared by both backends.
+func TestStateApply(t *testing.T) {
+	st := &State{}
+
+	st.Apply(&Record{Seq: 1, Op: OpSpareAssign, Rank: 5})
+	st.Apply(&Record{Seq: 2, Op: OpEpochPropose, Epoch: 1, Swaps: []Swap{{Out: 0, In: 5}}})
+	if st.Pending == nil || st.Pending.Epoch != 1 {
+		t.Fatalf("pending = %+v, want epoch-1 proposal", st.Pending)
+	}
+	if !reflect.DeepEqual(st.Assigned, []int{5}) {
+		t.Fatalf("assigned = %v, want [5]", st.Assigned)
+	}
+
+	st.Apply(&Record{Seq: 3, Op: OpEpochCommit, Epoch: 1})
+	if st.Epoch != 1 || st.Pending != nil {
+		t.Fatalf("after commit: epoch=%d pending=%+v, want 1/nil", st.Epoch, st.Pending)
+	}
+	st.Apply(&Record{Seq: 4, Op: OpSpareRelease, Rank: 5})
+	if len(st.Assigned) != 0 {
+		t.Fatalf("assigned = %v after release, want empty", st.Assigned)
+	}
+
+	// An abort of a proposal closes it without advancing the epoch.
+	st.Apply(&Record{Seq: 5, Op: OpEpochPropose, Epoch: 2, Swaps: []Swap{{Out: 5, In: 6}}})
+	st.Apply(&Record{Seq: 6, Op: OpEpochAbort, Epoch: 2})
+	if st.Epoch != 1 || st.Pending != nil {
+		t.Fatalf("after abort: epoch=%d pending=%+v, want 1/nil", st.Epoch, st.Pending)
+	}
+
+	// A commit observed at a higher epoch (manager missed the outcome,
+	// ranks moved on) advances directly and clears an older proposal.
+	st.Apply(&Record{Seq: 7, Op: OpEpochPropose, Epoch: 2, Swaps: nil})
+	st.Apply(&Record{Seq: 8, Op: OpEpochCommit, Epoch: 3})
+	if st.Epoch != 3 || st.Pending != nil {
+		t.Fatalf("after observed commit: epoch=%d pending=%+v, want 3/nil", st.Epoch, st.Pending)
+	}
+
+	st.Apply(&Record{Seq: 9, Op: OpQuarantine, Rank: 6})
+	st.Apply(&Record{Seq: 10, Op: OpQuarantine, Rank: 2})
+	st.Apply(&Record{Seq: 11, Op: OpQuarantine, Rank: 6}) // idempotent
+	if !reflect.DeepEqual(st.Quarantined, []int{2, 6}) {
+		t.Fatalf("quarantined = %v, want [2 6]", st.Quarantined)
+	}
+	if !st.IsQuarantined(6) || st.IsQuarantined(5) {
+		t.Fatal("IsQuarantined disagrees with the set")
+	}
+
+	st.Apply(&Record{Seq: 12, Op: OpCircuit, Detail: "open"})
+	if st.Circuit != "open" || st.Seq != 12 {
+		t.Fatalf("circuit=%q seq=%d, want open/12", st.Circuit, st.Seq)
+	}
+}
+
+// TestBackendsAgree drives the same record sequence through MemStore and
+// FileStore (with a crash-reopen in the middle of the file-backed run)
+// and requires the identical final state.
+func TestBackendsAgree(t *testing.T) {
+	recs := sampleRecords()
+
+	mem := NewMemStore(clock.NewFake())
+	for _, r := range recs {
+		if err := mem.Append(&Record{Op: r.Op, Epoch: r.Epoch, Rank: r.Rank, Swaps: r.Swaps, Detail: r.Detail}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	memSt, _, _ := mem.Load()
+
+	dir := t.TempDir()
+	fs, err := Open(dir, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(recs) / 2
+	for _, r := range recs[:half] {
+		if err := fs.Append(&Record{Op: r.Op, Epoch: r.Epoch, Rank: r.Rank, Swaps: r.Swaps, Detail: r.Detail}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no graceful close, no compaction. Reopen and continue.
+	fs.Close()
+	fs, err = Open(dir, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, replayed, _ := fs.Load(); replayed != half {
+		t.Fatalf("replayed %d records at reopen, want %d", replayed, half)
+	}
+	for _, r := range recs[half:] {
+		if err := fs.Append(&Record{Op: r.Op, Epoch: r.Epoch, Rank: r.Rank, Swaps: r.Swaps, Detail: r.Detail}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fileSt, _, _ := fs.Load()
+	fs.Close()
+
+	if !reflect.DeepEqual(memSt, fileSt) {
+		t.Fatalf("backends disagree:\n mem  %+v\n file %+v", memSt, fileSt)
+	}
+}
+
+// TestCompactionRoundTrip proves Compact folds the log into the snapshot
+// (the WAL empties), preserves the state across reopen, and that append
+// sequence numbers continue from the snapshot.
+func TestCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := fs.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _, _ := fs.Load()
+	if err := fs.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(filepath.Join(dir, walFile)); err != nil || info.Size() != 0 {
+		t.Fatalf("wal after compact: size=%v err=%v, want empty", info, err)
+	}
+	fs.Close()
+
+	fs2, err := Open(dir, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	st, replayed, _ := fs2.Load()
+	if replayed != 0 {
+		t.Fatalf("replayed %d after compact+reopen, want 0", replayed)
+	}
+	if !reflect.DeepEqual(st, want) {
+		t.Fatalf("state %+v, want %+v", st, want)
+	}
+	if err := fs2.Append(&Record{Op: OpCircuit, Detail: "closed"}); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, _ := fs2.Load()
+	if st2.Seq != want.Seq+1 {
+		t.Fatalf("seq %d after post-compact append, want %d", st2.Seq, want.Seq+1)
+	}
+}
+
+// TestAutoCompaction proves the CompactEvery threshold snapshots without
+// an explicit call and loses nothing.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CompactEvery = 4
+	for i := 0; i < 10; i++ {
+		if err := fs.Append(&Record{Op: OpQuarantine, Rank: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _, _ := fs.Load()
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("no snapshot after %d appends with CompactEvery=4: %v", 10, err)
+	}
+	fs.Close()
+
+	fs2, err := Open(dir, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	st, _, _ := fs2.Load()
+	if !reflect.DeepEqual(st, want) {
+		t.Fatalf("state %+v, want %+v", st, want)
+	}
+}

@@ -11,12 +11,14 @@ import (
 )
 
 // wireRequest is the swapmgr wire envelope: one request per connection —
-// a decision query, an asynchronous handler report, or a liveness ping
-// (used by ResilientDecider's recovery probe).
+// a decision query, an asynchronous handler report, a swap-outcome
+// report closing a proposed epoch, or a liveness ping (used by
+// ResilientDecider's recovery probe).
 type wireRequest struct {
-	Kind   string         `json:"kind"` // "decide", "report" or "ping"
-	Decide *DecideRequest `json:"decide,omitempty"`
-	Report *ReportMsg     `json:"report,omitempty"`
+	Kind    string         `json:"kind"` // "decide", "report", "outcome" or "ping"
+	Decide  *DecideRequest `json:"decide,omitempty"`
+	Report  *ReportMsg     `json:"report,omitempty"`
+	Outcome *OutcomeMsg    `json:"outcome,omitempty"`
 }
 
 // wireResponse answers a wireRequest.
@@ -98,6 +100,18 @@ func (d RemoteDecider) Report(r ReportMsg) error {
 	return err
 }
 
+// ReportOutcome implements OutcomeReporter. Old swapmgr daemons that
+// predate the "outcome" kind decline it with an error payload; that is
+// interop, not failure — the manager reconciles from the next decide's
+// epoch instead — so a wire-level decline reports success.
+func (d RemoteDecider) ReportOutcome(o OutcomeMsg) error {
+	_, err := d.roundTrip(wireRequest{Kind: "outcome", Outcome: &o})
+	if err != nil && isWireError(err) {
+		return nil
+	}
+	return err
+}
+
 // Ping implements Pinger: one cheap liveness round trip, used by
 // ResilientDecider's background recovery probe. Old swapmgr daemons that
 // predate the "ping" kind answer with an error payload, which still
@@ -166,6 +180,20 @@ func serveConn(conn net.Conn, decider Decider, logf func(string, ...any)) {
 		if rep, ok := decider.(Reporter); ok {
 			if err := rep.Report(*req.Report); err != nil {
 				resp.Error = err.Error()
+			}
+		}
+	case "outcome":
+		if req.Outcome == nil {
+			resp.Error = "outcome request without body"
+			break
+		}
+		if rep, ok := decider.(OutcomeReporter); ok {
+			if err := rep.ReportOutcome(*req.Outcome); err != nil {
+				logf("swapmgr: outcome error: %v", err)
+				resp.Error = err.Error()
+			} else {
+				logf("swapmgr: epoch %d outcome: committed=%v quarantined=%v",
+					req.Outcome.Epoch, req.Outcome.Committed, req.Outcome.Quarantined)
 			}
 		}
 	case "ping":

@@ -67,6 +67,17 @@ func (g GatedDecider) Report(r ReportMsg) error {
 	return nil
 }
 
+// ReportOutcome implements OutcomeReporter, forwarding like Report:
+// outcome reports bypass the gate so the deterministic outage windows
+// stay keyed on decision/probe calls alone (and a killed manager fails
+// outcome sends for real anyway).
+func (g GatedDecider) ReportOutcome(o OutcomeMsg) error {
+	if rep, ok := g.Inner.(OutcomeReporter); ok {
+		return rep.ReportOutcome(o)
+	}
+	return nil
+}
+
 // circuitState is the breaker's position: closed (primary in use), open
 // (primary bypassed) or half-open (one trial call in flight).
 type circuitState int
@@ -98,11 +109,23 @@ func (s circuitState) String() string {
 // use from one leader plus the background prober; Report may be called
 // concurrently by swap handlers.
 type ResilientDecider struct {
-	// Primary is the preferred decision service.
+	// Primary is the preferred decision service. While the circuit is
+	// open a configured Resolver may replace it (leader failover), so
+	// internal paths read it via primary(); external code must not
+	// mutate it after the first Decide.
 	Primary Decider
 	// Fallback decides while the circuit is open (and when a closed-
 	// circuit call exhausts its retries). Nil selects StayDecider.
 	Fallback Decider
+
+	// Resolver, when set, re-resolves the decision service while the
+	// circuit is open: each probe tick asks it for the current leader
+	// (e.g. by reading the manager lease) and, when the candidate
+	// answers a ping, installs it as the new primary and closes the
+	// circuit. This turns a manager failover — the old leader is gone
+	// for good, a standby holds the lease at a new address — into a
+	// recovery instead of a permanent fallback to local policy.
+	Resolver func() (Decider, error)
 
 	// MaxAttempts bounds the tries per Decide call against the primary
 	// (first call + retries). <= 0 selects 3.
@@ -136,6 +159,10 @@ type ResilientDecider struct {
 
 	// Tracer receives Circuit transition events (nil-safe).
 	Tracer *obs.Tracer
+	// OnCircuit, if set, receives every circuit transition (the durable
+	// manager store records them via this hook). Called with the
+	// decider's lock held: the hook must not call back into the decider.
+	OnCircuit func(transition, reason string)
 	// Logf, if set, receives retry/fallback diagnostics.
 	Logf func(format string, args ...any)
 	// Metrics, if set, counts retries, fallback decisions and circuit
@@ -206,6 +233,25 @@ func (d *ResilientDecider) fallback() Decider {
 	return StayDecider{}
 }
 
+// primary reads the current primary under the lock: the probe loop may
+// have swapped in a re-resolved leader.
+func (d *ResilientDecider) primary() Decider {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Primary
+}
+
+// canRecover reports whether background probing can bring the primary
+// back: either it answers pings, or a Resolver can find its successor.
+// Caller holds d.mu.
+func (d *ResilientDecider) canRecover() bool {
+	if d.Resolver != nil {
+		return true
+	}
+	_, ok := d.Primary.(Pinger)
+	return ok
+}
+
 // backoff computes the jittered sleep before retry attempt i (1-based).
 func (d *ResilientDecider) backoff(i int) time.Duration {
 	base := d.BaseBackoff
@@ -258,7 +304,7 @@ func (d *ResilientDecider) admitPrimary() bool {
 	case circuitClosed:
 		return true
 	case circuitOpen:
-		if _, ok := d.Primary.(Pinger); ok {
+		if d.canRecover() {
 			// The background prober owns recovery.
 			return false
 		}
@@ -281,7 +327,7 @@ func (d *ResilientDecider) tryPrimary(req DecideRequest) (DecideResponse, error)
 			d.count("retries")
 			d.clk().Sleep(d.backoff(i))
 		}
-		resp, err := d.Primary.Decide(req)
+		resp, err := d.primary().Decide(req)
 		if err == nil {
 			return resp, nil
 		}
@@ -317,7 +363,7 @@ func (d *ResilientDecider) onFailure(err error) {
 		d.state = circuitOpen
 		d.openedAt = d.clk().Now()
 		d.emit("open", err.Error())
-		if _, ok := d.Primary.(Pinger); ok && !d.probing && !d.closed {
+		if d.canRecover() && !d.probing && !d.closed {
 			d.probing = true
 			if d.stopCh == nil {
 				d.stopCh = make(chan struct{})
@@ -332,12 +378,18 @@ func (d *ResilientDecider) emit(transition, reason string) {
 	d.count("circuit_" + transition)
 	d.Tracer.EmitNow(obs.Event{Kind: obs.KindCircuit, Rank: obs.RankRuntime,
 		Detail: transition, Reason: reason})
+	if d.OnCircuit != nil {
+		d.OnCircuit(transition, reason)
+	}
 	d.logf("swaprt: resilient: circuit %s (%s)", transition, reason)
 }
 
-// probeLoop pings the primary until it answers or the decider is closed.
+// probeLoop runs while the circuit is open. Each tick it tries, in
+// order: the Resolver (is there a current leader — possibly a new one —
+// and does it answer?), then the existing primary's own Ping. The first
+// success installs the answering decider as primary, closes the circuit
+// and exits the loop.
 func (d *ResilientDecider) probeLoop(stop <-chan struct{}) {
-	p := d.Primary.(Pinger)
 	t := d.clk().NewTicker(d.probeInterval())
 	defer t.Stop()
 	for {
@@ -345,20 +397,56 @@ func (d *ResilientDecider) probeLoop(stop <-chan struct{}) {
 		case <-stop:
 			return
 		case <-t.C:
-			err := p.Ping()
-			d.mu.Lock()
-			if err == nil {
-				d.fails = 0
-				d.probing = false
-				if d.state != circuitClosed {
-					d.state = circuitClosed
-					d.emit("close", "probe succeeded")
-				}
-				d.mu.Unlock()
+			if next, ok := d.probeOnce(); ok {
+				d.recover(next)
 				return
 			}
-			d.mu.Unlock()
 		}
+	}
+}
+
+// probeOnce makes one recovery attempt and returns the decider to
+// install (nil = keep the current primary) and whether it succeeded.
+func (d *ResilientDecider) probeOnce() (Decider, bool) {
+	if d.Resolver != nil {
+		cand, err := d.Resolver()
+		if err == nil && cand != nil {
+			if p, ok := cand.(Pinger); ok {
+				if err := p.Ping(); err == nil {
+					return cand, true
+				}
+			} else {
+				// A resolver that vouches for a non-pingable decider is
+				// trusted as-is.
+				return cand, true
+			}
+		} else if err != nil {
+			d.logf("swaprt: resilient: resolve leader: %v", err)
+		}
+	}
+	if p, ok := d.primary().(Pinger); ok {
+		if err := p.Ping(); err == nil {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// recover installs the probed decider (when non-nil) and closes the
+// circuit.
+func (d *ResilientDecider) recover(next Decider) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fails = 0
+	d.probing = false
+	reason := "probe succeeded"
+	if next != nil {
+		d.Primary = next
+		reason = "leader re-resolved"
+	}
+	if d.state != circuitClosed {
+		d.state = circuitClosed
+		d.emit("close", reason)
 	}
 }
 
@@ -369,9 +457,10 @@ func (d *ResilientDecider) probeLoop(stop <-chan struct{}) {
 func (d *ResilientDecider) Report(r ReportMsg) error {
 	d.mu.Lock()
 	primaryUp := d.state == circuitClosed
+	primary := d.Primary
 	d.mu.Unlock()
 	if primaryUp {
-		if rep, ok := d.Primary.(Reporter); ok {
+		if rep, ok := primary.(Reporter); ok {
 			if err := rep.Report(r); err != nil {
 				d.count("report_errors")
 				d.logf("swaprt: resilient: primary report: %v", err)
@@ -380,6 +469,28 @@ func (d *ResilientDecider) Report(r ReportMsg) error {
 	}
 	if rep, ok := d.fallback().(Reporter); ok {
 		return rep.Report(r)
+	}
+	return nil
+}
+
+// ReportOutcome implements OutcomeReporter, forwarding the leader's
+// swap-outcome verdict to the primary while the circuit is closed. Like
+// Report it is advisory: a failure is logged, never circuit-tripping —
+// a manager that misses an outcome reconciles from the next decide's
+// epoch.
+func (d *ResilientDecider) ReportOutcome(o OutcomeMsg) error {
+	d.mu.Lock()
+	primaryUp := d.state == circuitClosed
+	primary := d.Primary
+	d.mu.Unlock()
+	if !primaryUp {
+		return nil
+	}
+	if rep, ok := primary.(OutcomeReporter); ok {
+		if err := rep.ReportOutcome(o); err != nil {
+			d.count("outcome_errors")
+			d.logf("swaprt: resilient: primary outcome report: %v", err)
+		}
 	}
 	return nil
 }

@@ -704,6 +704,7 @@ func (s *Session) swapPointActive() error {
 	// every aborted one (it was proposed, assigned and failed to complete
 	// the transfer — offering it again would just re-abort).
 	if s.comm.Rank() == 0 {
+		var quarantined []int
 		s.cfg.Telemetry.ObserveEpoch(newEpoch, newSet)
 		for i, sw := range plan.Swaps {
 			if committed[i] {
@@ -714,6 +715,7 @@ func (s *Session) swapPointActive() error {
 			s.stats.swapAborts.Inc()
 			s.stats.quarantined.Inc()
 			s.mgr.quarantine(sw.In)
+			quarantined = append(quarantined, sw.In)
 			s.cfg.Telemetry.ObserveAbort()
 			s.cfg.Telemetry.ObserveQuarantine(sw.In)
 			s.tr.EmitNow(obs.Event{Kind: obs.KindQuarantine, Rank: s.r.Rank(), Peer: sw.In,
@@ -721,6 +723,20 @@ func (s *Session) swapPointActive() error {
 			s.tr.DumpFlight(fmt.Sprintf("spare quarantined: rank %d", sw.In))
 			s.cfg.Logf("rank %d quarantined after failed swap-in (rank %d keeps running)",
 				sw.In, sw.Out)
+		}
+		// Close the loop with the decision service: the agreed outcome
+		// (commit or abort, plus the quarantines) becomes durable manager
+		// state. Best-effort — a manager that misses it reconciles from
+		// the next decide's epoch (epoch fencing).
+		if rep, ok := s.mgr.decider.(OutcomeReporter); ok {
+			if err := rep.ReportOutcome(OutcomeMsg{
+				Epoch:       plan.NewEpoch,
+				Committed:   anyCommitted,
+				NewSet:      newSet,
+				Quarantined: quarantined,
+			}); err != nil {
+				s.cfg.Logf("rank %d outcome report (epoch %d): %v", s.r.Rank(), plan.NewEpoch, err)
+			}
 		}
 	}
 

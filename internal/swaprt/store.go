@@ -2,11 +2,16 @@ package swaprt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
+	"net/url"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -46,21 +51,117 @@ const maxCheckpointBytes = 1 << 30
 // explicit timeout is configured.
 const defaultStoreConnTimeout = 60 * time.Second
 
-// StoreServer is an in-memory central checkpoint store.
+// ErrCheckpointCorrupt reports that a durably stored checkpoint blob
+// failed its CRC verification on read: the bytes on disk are not the
+// bytes that were acked, and restoring from them would corrupt the
+// restarted application. Callers must treat it like a missing
+// checkpoint, never like a transient failure.
+var ErrCheckpointCorrupt = errors.New("swaprt: checkpoint blob failed CRC verification")
+
+// StoreServer is a central checkpoint store: in-memory by default, or
+// durable when created with NewStoreServerDir — each blob then lives in
+// its own CRC-framed file, written via temp+fsync+rename so a crashed
+// put can never leave a half-written checkpoint under the key, and
+// verified on every get.
 type StoreServer struct {
 	mu          sync.Mutex
 	blobs       map[string][]byte
+	dir         string // "" selects the in-memory map
 	logf        func(string, ...any)
 	connTimeout time.Duration
 	clock       clock.Clock
 }
 
-// NewStoreServer creates an empty store. logf may be nil.
+// NewStoreServer creates an empty in-memory store. logf may be nil.
 func NewStoreServer(logf func(string, ...any)) *StoreServer {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &StoreServer{blobs: map[string][]byte{}, logf: logf}
+}
+
+// NewStoreServerDir creates a durable store over dir (created if
+// missing). Blobs survive store restarts. logf may be nil.
+func NewStoreServerDir(dir string, logf func(string, ...any)) (*StoreServer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("swaprt: checkpoint store dir: %w", err)
+	}
+	s := NewStoreServer(logf)
+	s.dir = dir
+	return s, nil
+}
+
+// blobPath maps a key to its file. The key is URL-escaped into a single
+// path component with a fixed prefix and suffix, so hostile keys
+// ("../x", absolute paths) cannot escape the store directory.
+func (s *StoreServer) blobPath(key string) string {
+	return filepath.Join(s.dir, "k_"+url.PathEscape(key)+".ckpt")
+}
+
+// blobHeaderLen prefixes each durable blob: a 4-byte big-endian
+// CRC32-IEEE of the body, the same checksum discipline as the wire codec
+// and the manager WAL.
+const blobHeaderLen = 4
+
+// putFile durably stores one blob: CRC-framed, written to a temp file,
+// fsynced, renamed over the key's path, directory entry fsynced. Runs
+// outside the store mutex — temp names are unique and the rename is
+// atomic, so concurrent puts to one key linearize to "last ack wins".
+func (s *StoreServer) putFile(key string, body []byte) error {
+	framed := make([]byte, blobHeaderLen+len(body))
+	binary.BigEndian.PutUint32(framed, crc32.ChecksumIEEE(body))
+	copy(framed[blobHeaderLen:], body)
+	path := s.blobPath(key)
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncStoreDir(s.dir)
+}
+
+// getFile reads and CRC-verifies one durable blob.
+func (s *StoreServer) getFile(key string) ([]byte, error) {
+	framed, err := os.ReadFile(s.blobPath(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("no checkpoint %q", key)
+		}
+		return nil, err
+	}
+	if len(framed) < blobHeaderLen {
+		return nil, fmt.Errorf("checkpoint %q: %w (short file)", key, ErrCheckpointCorrupt)
+	}
+	body := framed[blobHeaderLen:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(framed) {
+		return nil, fmt.Errorf("checkpoint %q: %w", key, ErrCheckpointCorrupt)
+	}
+	return body, nil
+}
+
+// syncStoreDir fsyncs a directory so a just-renamed file's entry is
+// durable before the put is acked.
+func syncStoreDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // SetConnTimeout bounds each connection's whole conversation (one
@@ -81,6 +182,10 @@ func (s *StoreServer) clk() clock.Clock {
 
 // Keys reports the stored keys (for inspection and tests).
 func (s *StoreServer) Keys() int {
+	if s.dir != "" {
+		matches, _ := filepath.Glob(filepath.Join(s.dir, "k_*.ckpt"))
+		return len(matches)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.blobs)
@@ -130,18 +235,40 @@ func (s *StoreServer) serveConn(conn net.Conn) {
 			reply(storeReply{Error: "short body"}, nil)
 			return
 		}
-		s.mu.Lock()
-		s.blobs[hdr.Key] = body
-		s.mu.Unlock()
+		if s.dir != "" {
+			// Durability before ack: the reply leaves only after the blob
+			// and its directory entry are fsynced.
+			if err := s.putFile(hdr.Key, body); err != nil {
+				s.logf("ckptstore: put %q: %v", hdr.Key, err)
+				reply(storeReply{Error: err.Error()}, nil)
+				return
+			}
+		} else {
+			s.mu.Lock()
+			s.blobs[hdr.Key] = body
+			s.mu.Unlock()
+		}
 		s.logf("ckptstore: put %q (%d bytes)", hdr.Key, hdr.Size)
 		reply(storeReply{OK: true}, nil)
 	case "get":
-		s.mu.Lock()
-		body, ok := s.blobs[hdr.Key]
-		s.mu.Unlock()
-		if !ok {
-			reply(storeReply{Error: fmt.Sprintf("no checkpoint %q", hdr.Key)}, nil)
-			return
+		var body []byte
+		if s.dir != "" {
+			var err error
+			body, err = s.getFile(hdr.Key)
+			if err != nil {
+				s.logf("ckptstore: get %q: %v", hdr.Key, err)
+				reply(storeReply{Error: err.Error()}, nil)
+				return
+			}
+		} else {
+			var ok bool
+			s.mu.Lock()
+			body, ok = s.blobs[hdr.Key]
+			s.mu.Unlock()
+			if !ok {
+				reply(storeReply{Error: fmt.Sprintf("no checkpoint %q", hdr.Key)}, nil)
+				return
+			}
 		}
 		reply(storeReply{OK: true, Size: int64(len(body))}, body)
 	default:

@@ -1,0 +1,122 @@
+package swaprt
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startDirStore(t *testing.T, dir string) (*StoreServer, StoreClient) {
+	t.Helper()
+	srv, err := NewStoreServerDir(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.Serve(ln)
+	return srv, StoreClient{Addr: ln.Addr().String(), Timeout: 2 * time.Second}
+}
+
+func TestDirStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, client := startDirStore(t, dir)
+	if err := client.Put("app1/rank3", []byte("state-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Put("app1/rank3", []byte("state-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Keys() != 1 {
+		t.Errorf("Keys() = %d, want 1 (same key overwritten)", srv.Keys())
+	}
+
+	// A brand-new server over the same directory — the store process
+	// restarted — must serve the last acked blob.
+	_, client2 := startDirStore(t, dir)
+	got, err := client2.Get("app1/rank3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "state-v2" {
+		t.Errorf("restarted store served %q, want state-v2", got)
+	}
+}
+
+func TestDirStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	srv, client := startDirStore(t, dir)
+	if err := client.Put("k", []byte("precious bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one body byte on disk behind the server's back.
+	path := srv.blobPath("k")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = client.Get("k")
+	if err == nil {
+		t.Fatal("get of a corrupted blob succeeded")
+	}
+	if !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("corruption error %q does not name the CRC failure", err)
+	}
+	// The server-side error must be the typed one.
+	if _, err := srv.getFile("k"); err == nil || !strings.Contains(err.Error(), ErrCheckpointCorrupt.Error()) {
+		t.Errorf("server-side error = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+func TestDirStoreHostileKeysStayInside(t *testing.T) {
+	dir := t.TempDir()
+	srv, client := startDirStore(t, dir)
+	for _, key := range []string{"../escape", "/etc/passwd", "a/../../b", ".."} {
+		if err := client.Put(key, []byte("x")); err != nil {
+			t.Fatalf("put %q: %v", key, err)
+		}
+		rel, err := filepath.Rel(dir, srv.blobPath(key))
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Errorf("key %q mapped outside the store dir: %q", key, srv.blobPath(key))
+		}
+		got, err := client.Get(key)
+		if err != nil || string(got) != "x" {
+			t.Errorf("roundtrip %q: %q, %v", key, got, err)
+		}
+	}
+	if parent, _ := filepath.Glob(filepath.Join(filepath.Dir(dir), "k_*")); len(parent) != 0 {
+		t.Errorf("blobs leaked into the parent directory: %v", parent)
+	}
+}
+
+func TestDirStoreNoHalfWrittenBlobVisible(t *testing.T) {
+	dir := t.TempDir()
+	srv, client := startDirStore(t, dir)
+	if err := client.Put("k", []byte("complete")); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed put leaves only a temp file; the key must still serve the
+	// previous complete blob and temp debris must not count as a key.
+	if err := os.WriteFile(filepath.Join(dir, ".put-crashed"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get("k")
+	if err != nil || string(got) != "complete" {
+		t.Fatalf("get after simulated torn put: %q, %v", got, err)
+	}
+	if srv.Keys() != 1 {
+		t.Errorf("Keys() = %d, want 1 (temp file is not a key)", srv.Keys())
+	}
+}

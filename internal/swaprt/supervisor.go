@@ -1,0 +1,341 @@
+package swaprt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/swaprt/mgrstore"
+)
+
+// SupervisorConfig configures a ManagerSupervisor.
+type SupervisorConfig struct {
+	// Dir is the durable store directory shared by every incarnation.
+	Dir string
+	// Policy is the decision policy each incarnation's LocalDecider runs.
+	Policy core.Policy
+	// LeaseTTL is the leader lease duration; incarnations renew at a
+	// third of it. <= 0 selects 2s.
+	LeaseTTL time.Duration
+	// Timeout bounds one client round trip against the served manager
+	// (used by Resolve's RemoteDecider). <= 0 selects 5s.
+	Timeout time.Duration
+	// Clock drives the lease, the renewal cadence, the standby poll and
+	// restart downtime. Nil means clock.Real.
+	Clock clock.Clock
+	// Tracer receives MgrCrash / MgrRecover events (nil-safe).
+	Tracer *obs.Tracer
+	// Logf, if set, receives supervisor diagnostics.
+	Logf func(string, ...any)
+}
+
+// ManagerSupervisor runs crash-restartable swap-manager incarnations
+// inside the harness process: each incarnation opens the shared
+// mgrstore directory, waits for the leader lease, recovers by WAL
+// replay (emitting the MgrRecover evidence event), and serves the
+// manager wire protocol on its own listener until killed. Kill is the
+// process-level chaos hook a fault.Plan's mgrkill/mgrrestart rules
+// invoke: the incarnation's listener and store handles drop on the
+// floor — no compaction, no lease release — exactly as a SIGKILL would
+// leave them, and recovery has to work from the files alone.
+type ManagerSupervisor struct {
+	cfg SupervisorConfig
+
+	mu           sync.Mutex
+	cur          *mgrIncarnation
+	incarnations int
+	recoveries   int
+	closed       bool
+}
+
+// mgrIncarnation is one manager lifetime: store handle, durable
+// decider, listener, renewal loop.
+type mgrIncarnation struct {
+	owner   string
+	store   *mgrstore.FileStore
+	durable *DurableDecider
+	ln      net.Listener
+	stop    chan struct{}
+	stopped sync.Once
+}
+
+// crash drops the incarnation the way a kill -9 would: listener and
+// file handles close, the lease stays behind to expire on its own.
+func (m *mgrIncarnation) crash() {
+	m.stopped.Do(func() {
+		close(m.stop)
+		m.ln.Close()
+		m.store.Close()
+	})
+}
+
+func (c SupervisorConfig) ttl() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return 2 * time.Second
+}
+
+func (c SupervisorConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (c SupervisorConfig) clk() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.Real{}
+}
+
+// StartManagerSupervisor validates the config and brings up the first
+// incarnation (waiting, like any standby, for the lease if a previous
+// run's lease is still live in the directory).
+func StartManagerSupervisor(cfg SupervisorConfig) (*ManagerSupervisor, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("swaprt: supervisor needs a store dir")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &ManagerSupervisor{cfg: cfg}
+	s.startIncarnation()
+	return s, nil
+}
+
+// startIncarnation asynchronously brings up the next manager
+// incarnation: open the store, win the lease (polling until the
+// previous holder's lease expires), recover, serve.
+func (s *ManagerSupervisor) startIncarnation() {
+	s.mu.Lock()
+	owner := fmt.Sprintf("mgr-%d", s.incarnations)
+	s.incarnations++
+	s.mu.Unlock()
+	go s.runIncarnation(owner)
+}
+
+func (s *ManagerSupervisor) runIncarnation(owner string) {
+	clk := s.cfg.clk()
+	ttl := s.cfg.ttl()
+
+	store, err := mgrstore.Open(s.cfg.Dir, clk)
+	if err != nil {
+		s.cfg.Logf("swapmgr-sup: %s: open store: %v", owner, err)
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		store.Close()
+		s.cfg.Logf("swapmgr-sup: %s: listen: %v", owner, err)
+		return
+	}
+	addr := ln.Addr().String()
+
+	// Standby loop: the previous incarnation's lease outlives its crash
+	// by design; poll until the clock expires it. Poll at a quarter TTL
+	// so takeover lands within a bounded slice of the expiry instant.
+	for {
+		if s.isClosed() {
+			ln.Close()
+			store.Close()
+			return
+		}
+		_, err := store.AcquireLease(owner, addr, ttl)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, mgrstore.ErrLeaseHeld) {
+			ln.Close()
+			store.Close()
+			s.cfg.Logf("swapmgr-sup: %s: acquire lease: %v", owner, err)
+			return
+		}
+		clk.Sleep(ttl / 4)
+	}
+
+	durable, err := NewDurableDecider(NewLocalDecider(s.cfg.Policy), store, s.cfg.Logf)
+	if err != nil {
+		ln.Close()
+		store.Close()
+		s.cfg.Logf("swapmgr-sup: %s: recover: %v", owner, err)
+		return
+	}
+	st := durable.DurableState()
+	inc := &mgrIncarnation{owner: owner, store: store, durable: durable, ln: ln, stop: make(chan struct{})}
+
+	s.mu.Lock()
+	if s.closed || s.cur != nil {
+		// Supervisor shut down (or a rival incarnation won) while we were
+		// waiting on the lease.
+		s.mu.Unlock()
+		inc.crash()
+		return
+	}
+	s.cur = inc
+	s.recoveries++
+	s.mu.Unlock()
+
+	s.cfg.Tracer.EmitNow(obs.Event{Kind: obs.KindMgrRecover, Rank: obs.RankRuntime,
+		Epoch: st.Epoch,
+		Detail: fmt.Sprintf("wal-replay records=%d epoch=%d quarantined=%d pending=%v owner=%s",
+			durable.Replayed(), st.Epoch, len(st.Quarantined), st.Pending != nil, owner)})
+	s.cfg.Logf("swapmgr-sup: %s serving on %s (replayed %d records, epoch %d)",
+		owner, addr, durable.Replayed(), st.Epoch)
+
+	// Renewal loop: a lost or superseded lease fences this incarnation
+	// out — it must stop serving immediately, not contest the new
+	// leader.
+	go func() {
+		t := clk.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-inc.stop:
+				return
+			case <-t.C:
+				if _, err := store.AcquireLease(owner, addr, ttl); err != nil {
+					s.cfg.Logf("swapmgr-sup: %s fenced out: %v", owner, err)
+					s.dropIfCurrent(inc)
+					inc.crash()
+					return
+				}
+			}
+		}
+	}()
+
+	if err := ServeManager(ln, durable, s.cfg.Logf); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.cfg.Logf("swapmgr-sup: %s serve: %v", owner, err)
+	}
+}
+
+func (s *ManagerSupervisor) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *ManagerSupervisor) dropIfCurrent(inc *mgrIncarnation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == inc {
+		s.cur = nil
+	}
+}
+
+// Kill crashes the current incarnation (the fault plan's
+// mgrkill/mgrrestart hook — pass it to fault.Plan.SetManagerKiller).
+// With restart, a fresh incarnation is stood up after down of
+// supervisor-clock downtime; it still has to wait out the dead leader's
+// lease, so effective downtime is max(down, lease remainder).
+func (s *ManagerSupervisor) Kill(restart bool, down time.Duration) {
+	s.mu.Lock()
+	inc := s.cur
+	s.cur = nil
+	closed := s.closed
+	s.mu.Unlock()
+
+	detail := "mgrkill"
+	if restart {
+		detail = fmt.Sprintf("mgrrestart down=%s", down)
+	}
+	if inc != nil {
+		s.cfg.Tracer.EmitNow(obs.Event{Kind: obs.KindMgrCrash, Rank: obs.RankRuntime, Detail: detail})
+		s.cfg.Logf("swapmgr-sup: killed %s (%s)", inc.owner, detail)
+		inc.crash()
+	}
+	if !restart || closed {
+		return
+	}
+	if down <= 0 {
+		s.startIncarnation()
+		return
+	}
+	s.cfg.clk().AfterFunc(down, s.startIncarnation)
+}
+
+// Resolve returns a RemoteDecider for the current lease holder — the
+// ResilientDecider.Resolver hook that re-finds the leader (old or new)
+// after a circuit-opening outage.
+func (s *ManagerSupervisor) Resolve() (Decider, error) {
+	lease, held, err := mgrstore.ReadLease(s.cfg.Dir, s.cfg.clk())
+	if err != nil {
+		return nil, err
+	}
+	if !held || lease.Addr == "" {
+		return nil, fmt.Errorf("swaprt: no live manager lease in %s", s.cfg.Dir)
+	}
+	return RemoteDecider{Addr: lease.Addr, Timeout: s.cfg.timeout(), Clock: s.cfg.Clock}, nil
+}
+
+// RecordCircuit durably logs a decision-path circuit transition in the
+// current incarnation's store (the ResilientDecider.OnCircuit wiring
+// point). Best-effort: with no live incarnation — the very condition an
+// "open" transition usually reports — there is nothing to write to, and
+// the recovered manager's WAL picks up from its own records instead.
+func (s *ManagerSupervisor) RecordCircuit(transition, reason string) {
+	s.mu.Lock()
+	inc := s.cur
+	s.mu.Unlock()
+	if inc == nil {
+		return
+	}
+	if err := inc.durable.RecordCircuit(transition + ": " + reason); err != nil {
+		s.cfg.Logf("swapmgr-sup: record circuit %s: %v", transition, err)
+	}
+}
+
+// Addr reports the currently serving incarnation's address ("" if none).
+func (s *ManagerSupervisor) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return ""
+	}
+	return s.cur.ln.Addr().String()
+}
+
+// Recoveries reports how many incarnations reached serving state —
+// 1 for the initial bring-up plus 1 per completed restart/failover.
+func (s *ManagerSupervisor) Recoveries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoveries
+}
+
+// Close shuts the supervisor down gracefully: the current incarnation
+// compacts its store, releases the lease and closes. Unlike Kill this
+// is the clean path — nothing is left for a successor to replay.
+func (s *ManagerSupervisor) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	inc := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+
+	if inc == nil {
+		return nil
+	}
+	var firstErr error
+	if err := inc.store.Compact(); err != nil {
+		firstErr = err
+	}
+	if err := inc.store.ReleaseLease(inc.owner); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	inc.crash()
+	return firstErr
+}
