@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-transport figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke postmortem-smoke failover-smoke smoke-timing clean
+.PHONY: all build vet lint test race bench bench-transport bench-all figures ablations extensions check fuzz trace-smoke chaos-smoke mon-smoke postmortem-smoke failover-smoke lens-smoke smoke-timing clean
 
 all: build vet lint test
 
@@ -48,6 +48,23 @@ bench-transport:
 		END { if (ran < 6) { print "FAIL: expected 6 benchmark runs, saw " ran; exit 1 }; exit bad } \
 	' /tmp/bench-transport.txt
 	@echo "bench-transport: 0 allocs/op held (plain and causal+flight)"
+
+# Aggregate benchmark evidence into one schema-stable artifact
+# (results/BENCH_summary.json, uploaded by CI): fresh runs of the
+# transport gate benchmarks and the policy-lens disabled-path
+# benchmarks, folded together with the checked-in BENCH_*.json capsules
+# by cmd/benchagg, which re-applies the zero-alloc gate on the parsed
+# rows so the artifact cannot disagree with the gate that admitted it.
+bench-all:
+	mkdir -p results
+	$(GO) test -run '^$$' -bench '^BenchmarkTCPSendDistinctRanks(Causal|Gob)?$$' \
+		-benchmem -benchtime 5000x -count 3 . | tee results/bench-transport.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkLens(Disabled|Nil)$$' \
+		-benchmem -count 3 ./internal/swaprt/policylens/ | tee results/bench-lens.txt
+	$(GO) run ./cmd/benchagg -out results/BENCH_summary.json -docs 'BENCH_*.json' \
+		-zero-alloc '^BenchmarkTCPSendDistinctRanks(Causal)?$$' \
+		results/bench-transport.txt results/bench-lens.txt
+	@echo "bench-all: wrote results/BENCH_summary.json"
 
 # Regenerate every figure / ablation / extension into results/ as CSV.
 figures:
@@ -167,15 +184,43 @@ failover-smoke:
 		-accel 25 -trace-out results/trace-failover.json
 	$(GO) run ./cmd/tracecheck -failover results/trace-failover.json
 
-# Wall-clock budget on the accelerated smokes (DESIGN.md §16): the two
-# fault-injected end-to-end gates together must finish inside 30s, so a
-# regression that reintroduces real-time waits anywhere on their path
-# (a bare sleep, an unscaled deadline) fails CI by timing alone.
+# Policy-lens smoke (DESIGN.md §19): the observability loop end to end.
+# First leg: the trace-smoke live shape re-run with -lens, exporting the
+# JSONL event log — the lens must have armed a payback prediction at the
+# forced swap, realized it, and replayed the shadow panel; tracecheck
+# -audit replays the whole log offline and fails on any bookkeeping
+# violation (committed swap without a realized payback, realization for
+# an epoch that never committed, ok-verdict contradicting its own error).
+# Second leg: the mon-smoke shape with -lens serving /telemetry while
+# swapmon -once gates on the lens panel itself (-min-shadow 1 proves the
+# shadow scoreboard is live alongside the committed swap).
+lens-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/swaprun -ranks 2 -active 1 -iters 20 -work 10 \
+		-inject 0@0.05:8 -lens -events-out results/lens-events.jsonl
+	$(GO) run ./cmd/tracecheck -audit results/lens-events.jsonl
+	$(GO) build -o results/lens-swaprun ./cmd/swaprun
+	$(GO) build -o results/lens-swapmon ./cmd/swapmon
+	./results/lens-swaprun -ranks 3 -active 1 -iters 1000 -work 5 \
+		-inject '0@0.2:8,1@0:4' -accel 10 \
+		-lens -telemetry -debug-addr 127.0.0.1:7093 & \
+	RUN_PID=$$!; \
+	./results/lens-swapmon -addr 127.0.0.1:7093 -once -interval 50ms \
+		-min-swaps 1 -min-shadow 1 -timeout 60s; \
+	STATUS=$$?; \
+	kill $$RUN_PID 2>/dev/null; wait $$RUN_PID 2>/dev/null; \
+	exit $$STATUS
+
+# Wall-clock budget on the accelerated smokes (DESIGN.md §16): the
+# fault-injected end-to-end gates plus the lens smoke together must
+# finish inside 30s, so a regression that reintroduces real-time waits
+# anywhere on their path (a bare sleep, an unscaled deadline) fails CI
+# by timing alone.
 smoke-timing:
 	@START=$$(date +%s); \
-	$(MAKE) chaos-smoke mon-smoke; STATUS=$$?; \
+	$(MAKE) chaos-smoke mon-smoke lens-smoke; STATUS=$$?; \
 	END=$$(date +%s); ELAPSED=$$((END-START)); \
-	echo "smoke-timing: chaos-smoke + mon-smoke took $${ELAPSED}s (budget 30s)"; \
+	echo "smoke-timing: chaos-smoke + mon-smoke + lens-smoke took $${ELAPSED}s (budget 30s)"; \
 	if [ $$STATUS -ne 0 ]; then exit $$STATUS; fi; \
 	if [ $$ELAPSED -gt 30 ]; then \
 		echo "smoke-timing: FAIL - exceeded the 30s budget"; exit 1; \
@@ -193,4 +238,5 @@ fuzz:
 # cache to keep swapvet compilation cheap.
 clean:
 	rm -rf results/*.csv results/*.txt results/*.json results/*.jsonl \
-		results/flight results/failover-store results/mon-swaprun results/mon-swapmon
+		results/flight results/failover-store results/mon-swaprun results/mon-swapmon \
+		results/lens-swaprun results/lens-swapmon

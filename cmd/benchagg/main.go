@@ -1,0 +1,258 @@
+// Command benchagg folds the repo's benchmark evidence into one
+// schema-stable document, results/BENCH_summary.json, that CI uploads
+// as an artifact: the live `go test -bench` text outputs named on the
+// command line are parsed and aggregated per benchmark (min/median/max
+// ns/op across -count repetitions, worst-case B/op and allocs/op), and
+// the checked-in BENCH_*.json capsules — the curated before/after
+// studies whose baselines no longer exist in the tree — ride along
+// verbatim under "documents".
+//
+// It is also a gate: every benchmark matching -zero-alloc must report
+// exactly 0 allocs/op in every run, mirroring the make bench-transport
+// awk gate, and the named input files must actually contain benchmark
+// lines (a compile error or -bench filter typo fails the aggregation
+// instead of producing an empty "all green" summary).
+//
+// Usage:
+//
+//	benchagg -out results/BENCH_summary.json -docs 'BENCH_*.json' \
+//	    -zero-alloc '^BenchmarkTCPSendDistinctRanks(Causal)?$' \
+//	    results/bench-transport.txt results/bench-lens.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Summary is the output schema. Field set and ordering are stable:
+// downstream tooling (and humans diffing two CI artifacts) may rely on
+// byte-identical output for identical inputs.
+type Summary struct {
+	Schema     string                     `json:"schema"` // "repro/bench-summary/v1"
+	Benchmarks []Bench                    `json:"benchmarks"`
+	Gates      []Gate                     `json:"gates"`
+	Documents  map[string]json.RawMessage `json:"documents,omitempty"`
+}
+
+// Bench aggregates every run of one benchmark name (GOMAXPROCS suffix
+// stripped) from one source file.
+type Bench struct {
+	Name     string  `json:"name"`
+	Source   string  `json:"source"`
+	Runs     int     `json:"runs"`
+	MinNsOp  float64 `json:"min_ns_op"`
+	MedNsOp  float64 `json:"median_ns_op"`
+	MaxNsOp  float64 `json:"max_ns_op"`
+	BOp      int64   `json:"b_op"`      // worst case across runs
+	AllocsOp int64   `json:"allocs_op"` // worst case across runs
+}
+
+// Gate records one acceptance rule's verdict so the artifact carries
+// the evidence, not just the exit code.
+type Gate struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkFoo-8   5000   123.4 ns/op   16 B/op   2 allocs/op
+//
+// The B/op and allocs/op columns appear only under -benchmem.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// run is one parsed benchmark execution.
+type run struct {
+	name     string
+	source   string
+	nsOp     float64
+	bOp      int64
+	allocsOp int64
+}
+
+// parseBench extracts every benchmark run from one -bench text output.
+func parseBench(source string, text string) []run {
+	var runs []run
+	for _, line := range strings.Split(text, "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := run{name: m[1], source: source}
+		r.nsOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.bOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		runs = append(runs, r)
+	}
+	return runs
+}
+
+// aggregate groups runs by (source, name) into sorted Bench rows.
+func aggregate(runs []run) []Bench {
+	type key struct{ source, name string }
+	groups := make(map[key][]run)
+	for _, r := range runs {
+		k := key{r.source, r.name}
+		groups[k] = append(groups[k], r)
+	}
+	var out []Bench
+	for k, rs := range groups {
+		ns := make([]float64, len(rs))
+		b := Bench{Name: k.name, Source: k.source, Runs: len(rs)}
+		for i, r := range rs {
+			ns[i] = r.nsOp
+			if r.bOp > b.BOp {
+				b.BOp = r.bOp
+			}
+			if r.allocsOp > b.AllocsOp {
+				b.AllocsOp = r.allocsOp
+			}
+		}
+		sort.Float64s(ns)
+		b.MinNsOp = ns[0]
+		b.MaxNsOp = ns[len(ns)-1]
+		b.MedNsOp = ns[len(ns)/2]
+		if len(ns)%2 == 0 {
+			b.MedNsOp = (ns[len(ns)/2-1] + ns[len(ns)/2]) / 2
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// applyGates evaluates the acceptance rules over the aggregated rows.
+func applyGates(benches []Bench, zeroAlloc *regexp.Regexp) []Gate {
+	var gates []Gate
+	if zeroAlloc != nil {
+		matched, worst := 0, int64(0)
+		var offender string
+		for _, b := range benches {
+			if !zeroAlloc.MatchString(b.Name) {
+				continue
+			}
+			matched++
+			if b.AllocsOp > worst {
+				worst, offender = b.AllocsOp, b.Name
+			}
+		}
+		g := Gate{Name: "zero-alloc", Pass: worst == 0 && matched > 0}
+		switch {
+		case matched == 0:
+			g.Detail = fmt.Sprintf("no benchmark matched %q (filter typo or benchmarks never ran)", zeroAlloc)
+		case worst != 0:
+			g.Detail = fmt.Sprintf("%s reports %d allocs/op, want 0", offender, worst)
+		default:
+			g.Detail = fmt.Sprintf("%d benchmarks held 0 allocs/op", matched)
+		}
+		gates = append(gates, g)
+	}
+	gates = append(gates, Gate{
+		Name: "benchmarks-ran", Pass: len(benches) > 0,
+		Detail: fmt.Sprintf("%d aggregated benchmark rows", len(benches)),
+	})
+	return gates
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the summary JSON here (default stdout)")
+		docs      = flag.String("docs", "", "glob of checked-in BENCH_*.json capsules to embed verbatim")
+		zeroAlloc = flag.String("zero-alloc", "", "regexp of benchmark names that must report 0 allocs/op in every run")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("no bench output files named (want `go test -bench` text captures)"))
+	}
+
+	var zre *regexp.Regexp
+	if *zeroAlloc != "" {
+		var err error
+		if zre, err = regexp.Compile(*zeroAlloc); err != nil {
+			fatal(err)
+		}
+	}
+
+	var runs []run
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		rs := parseBench(filepath.Base(path), string(text))
+		if len(rs) == 0 {
+			fatal(fmt.Errorf("%s contains no benchmark result lines", path))
+		}
+		runs = append(runs, rs...)
+	}
+
+	sum := Summary{Schema: "repro/bench-summary/v1", Benchmarks: aggregate(runs)}
+	sum.Gates = applyGates(sum.Benchmarks, zre)
+
+	if *docs != "" {
+		paths, err := filepath.Glob(*docs)
+		if err != nil {
+			fatal(err)
+		}
+		sort.Strings(paths)
+		sum.Documents = make(map[string]json.RawMessage, len(paths))
+		for _, p := range paths {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				fatal(err)
+			}
+			var compact json.RawMessage
+			if err := json.Unmarshal(raw, &compact); err != nil {
+				fatal(fmt.Errorf("%s: %v", p, err))
+			}
+			name := strings.TrimSuffix(filepath.Base(p), ".json")
+			sum.Documents[name] = compact
+		}
+	}
+
+	enc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+
+	failed := 0
+	for _, g := range sum.Gates {
+		status := "ok"
+		if !g.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "benchagg: gate %s: %s (%s)\n", g.Name, status, g.Detail)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchagg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTCPSendDistinctRanks-4   	    5000	       126.7 ns/op	     134 B/op	       0 allocs/op
+BenchmarkTCPSendDistinctRanks-4   	    5000	       141.0 ns/op	     120 B/op	       0 allocs/op
+BenchmarkTCPSendDistinctRanks-4   	    5000	       179.0 ns/op	     110 B/op	       0 allocs/op
+BenchmarkLensDisabled-4           	88059078	        13.55 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchExtractsRuns(t *testing.T) {
+	runs := parseBench("bench.txt", sampleBench)
+	if len(runs) != 4 {
+		t.Fatalf("parsed %d runs, want 4", len(runs))
+	}
+	if runs[0].name != "BenchmarkTCPSendDistinctRanks" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", runs[0].name)
+	}
+	if runs[0].nsOp != 126.7 || runs[0].bOp != 134 || runs[0].allocsOp != 0 {
+		t.Fatalf("run 0 = %+v", runs[0])
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	benches := aggregate(parseBench("bench.txt", sampleBench))
+	if len(benches) != 2 {
+		t.Fatalf("aggregated %d rows, want 2", len(benches))
+	}
+	// Sorted by (source, name): LensDisabled before TCPSend.
+	if benches[0].Name != "BenchmarkLensDisabled" {
+		t.Fatalf("row order: %q first", benches[0].Name)
+	}
+	tcp := benches[1]
+	if tcp.Runs != 3 || tcp.MinNsOp != 126.7 || tcp.MedNsOp != 141.0 || tcp.MaxNsOp != 179.0 {
+		t.Fatalf("tcp stats = %+v", tcp)
+	}
+	if tcp.BOp != 134 {
+		t.Fatalf("worst-case B/op = %d, want 134", tcp.BOp)
+	}
+}
+
+func TestZeroAllocGate(t *testing.T) {
+	benches := aggregate(parseBench("bench.txt", sampleBench))
+	re := regexp.MustCompile(`^BenchmarkTCPSendDistinctRanks$`)
+
+	gates := applyGates(benches, re)
+	if len(gates) != 2 || !gates[0].Pass || !gates[1].Pass {
+		t.Fatalf("clean input should pass both gates: %+v", gates)
+	}
+
+	// A regression to 1 alloc/op must flip the gate.
+	dirty := aggregate(parseBench("bench.txt",
+		"BenchmarkTCPSendDistinctRanks-4 5000 140.0 ns/op 72 B/op 1 allocs/op\n"))
+	gates = applyGates(dirty, re)
+	if gates[0].Pass {
+		t.Fatalf("1 allocs/op passed the zero-alloc gate: %+v", gates[0])
+	}
+
+	// A filter that matches nothing must fail too, not vacuously pass.
+	gates = applyGates(benches, regexp.MustCompile(`^BenchmarkTypo$`))
+	if gates[0].Pass {
+		t.Fatalf("empty match passed the zero-alloc gate: %+v", gates[0])
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs/obsflag"
 	"repro/internal/report"
 	"repro/internal/swaprt"
+	"repro/internal/swaprt/policylens"
 )
 
 func main() {
@@ -252,6 +253,16 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string, tm clock.Clock) error {
 				Observed: st.Observed, Dumps: st.Dumps, LastDump: st.LastDump, Dir: st.Dir}
 		})
 	}
+	var lens *policylens.Lens
+	if traceFlags.Lens {
+		lens = policylens.New(policylens.Config{
+			Tolerance: traceFlags.LensTolerance,
+			Tracer:    tracer,
+			Registry:  world.Metrics(),
+			Clock:     clock.Seconds(tm),
+		})
+		hub.SetLensProbe(lens.Report)
+	}
 	cfg := swaprt.Config{
 		Active:    active,
 		Policy:    core.Greedy(),
@@ -259,6 +270,7 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string, tm clock.Clock) error {
 		Time:      tm,
 		Tracer:    tracer,
 		Telemetry: hub,
+		Lens:      lens,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
@@ -317,6 +329,11 @@ func liveDemo(traceFlags *obsflag.Flags, chaos string, tm clock.Clock) error {
 		fmt.Printf("live telemetry: %d decisions (%d swap verdicts, %d committed), %d ranks observed\n",
 			rep.Decisions.Count, rep.Decisions.SwapVerdicts, rep.Decisions.Swaps, len(rep.Ranks))
 	}
+	if lens != nil {
+		rep := lens.Report()
+		fmt.Printf("live lens: %d decisions, %d commits, %d realized (%d mispredicted), %d shadow decisions\n",
+			rep.Decisions, rep.Commits, rep.Realized, rep.Mispredicts, rep.ShadowDecisions())
+	}
 	logf := func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
 	}
@@ -344,10 +361,11 @@ func liveSweep(chaos string, tm clock.Clock, accel float64, n int) error {
 		n, ranks, active, iters, accel)
 	wallStart := time.Now()
 	var ok, failed, swaps, aborts, quarantined, decisions int
+	var realized, mispredicts, shadowEvals, divergences int
 	for i := 0; i < n; i++ {
 		degradeRank := i % active
 		onset := iters/4 + (i*7)%(iters/2)
-		stats, err := liveScenario(chaos, tm, degradeRank, onset, ranks, active, iters)
+		stats, lrep, err := liveScenario(chaos, tm, degradeRank, onset, ranks, active, iters)
 		if err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "swapexp: scenario %d (degrade rank %d at iter %d): %v\n",
@@ -359,6 +377,12 @@ func liveSweep(chaos string, tm clock.Clock, accel float64, n int) error {
 		aborts += stats.SwapAborts
 		quarantined += stats.Quarantined
 		decisions += stats.Decisions
+		realized += lrep.Realized
+		mispredicts += lrep.Mispredicts
+		for _, s := range lrep.Shadow {
+			shadowEvals += s.Decisions
+			divergences += s.Decisions - s.Agreements
+		}
 		if (i+1)%100 == 0 {
 			fmt.Printf("  %d/%d scenarios, %d swaps so far (%.1fs wall)\n",
 				i+1, n, swaps, time.Since(wallStart).Seconds())
@@ -366,6 +390,8 @@ func liveSweep(chaos string, tm clock.Clock, accel float64, n int) error {
 	}
 	fmt.Printf("live sweep done: %d ok, %d failed, %d swaps (%d aborted, %d quarantined), %d decisions in %.1fs wall\n",
 		ok, failed, swaps, aborts, quarantined, decisions, time.Since(wallStart).Seconds())
+	fmt.Printf("live sweep lens: %d paybacks realized (%d mispredicted), %d shadow evals (%d divergences)\n",
+		realized, mispredicts, shadowEvals, divergences)
 	if failed > 0 {
 		return fmt.Errorf("%d/%d scenarios failed", failed, n)
 	}
@@ -374,13 +400,16 @@ func liveSweep(chaos string, tm clock.Clock, accel float64, n int) error {
 
 // liveScenario is one sweep element: an in-process world whose
 // degradeRank's host collapses at iteration onset, swapped by a greedy
-// policy, optionally under a chaos plan and a resilient decider.
-func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, active, iters int) (swaprt.RunStats, error) {
+// policy, optionally under a chaos plan and a resilient decider. Every
+// scenario carries its own policy lens so the sweep doubles as a
+// prediction-accuracy experiment; the lens report rides back alongside
+// the run stats.
+func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, active, iters int) (swaprt.RunStats, policylens.Report, error) {
 	var plan *fault.Plan
 	if chaos != "" {
 		var err error
 		if plan, err = fault.Parse(chaos); err != nil {
-			return swaprt.RunStats{}, err
+			return swaprt.RunStats{}, policylens.Report{}, err
 		}
 	}
 	worldCfg := mpi.Config{Size: ranks, Clock: tm}
@@ -389,7 +418,7 @@ func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, activ
 	}
 	world, err := mpi.NewWorldWithConfig(worldCfg)
 	if err != nil {
-		return swaprt.RunStats{}, err
+		return swaprt.RunStats{}, policylens.Report{}, err
 	}
 	iterCount := 0
 	probe := func(rank int) float64 {
@@ -398,11 +427,13 @@ func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, activ
 		}
 		return 1000
 	}
+	lens := policylens.New(policylens.Config{Clock: clock.Seconds(tm)})
 	cfg := swaprt.Config{
 		Active: active,
 		Policy: core.Greedy(),
 		Probe:  probe,
 		Time:   tm,
+		Lens:   lens,
 	}
 	if plan != nil {
 		cfg.TransferTimeout = 2 * time.Second
@@ -415,21 +446,21 @@ func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, activ
 			// exercises WAL replay and lease takeover from a cold directory.
 			dir, err := os.MkdirTemp("", "swapexp-mgr-*")
 			if err != nil {
-				return swaprt.RunStats{}, err
+				return swaprt.RunStats{}, policylens.Report{}, err
 			}
 			defer os.RemoveAll(dir)
 			sup, err := swaprt.StartManagerSupervisor(swaprt.SupervisorConfig{
 				Dir: dir, Policy: core.Greedy(), LeaseTTL: 250 * time.Millisecond, Clock: tm,
 			})
 			if err != nil {
-				return swaprt.RunStats{}, err
+				return swaprt.RunStats{}, policylens.Report{}, err
 			}
 			defer sup.Close()
 			for i := 0; sup.Addr() == "" && i < 1000; i++ {
 				tm.Sleep(2 * time.Millisecond)
 			}
 			if sup.Addr() == "" {
-				return swaprt.RunStats{}, fmt.Errorf("manager supervisor never started serving")
+				return swaprt.RunStats{}, policylens.Report{}, fmt.Errorf("manager supervisor never started serving")
 			}
 			plan.SetManagerKiller(sup.Kill)
 			resolver = func() (swaprt.Decider, error) {
@@ -448,7 +479,7 @@ func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, activ
 					break
 				}
 				if i >= 200 {
-					return swaprt.RunStats{}, err
+					return swaprt.RunStats{}, policylens.Report{}, err
 				}
 				tm.Sleep(5 * time.Millisecond)
 			}
@@ -506,7 +537,7 @@ func liveScenario(chaos string, tm clock.Clock, degradeRank, onset, ranks, activ
 	if err == nil {
 		err = corrupt
 	}
-	return stats, err
+	return stats, lens.Report(), err
 }
 
 func fatal(err error) {

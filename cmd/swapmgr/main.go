@@ -49,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/swaprt"
 	"repro/internal/swaprt/mgrstore"
+	"repro/internal/swaprt/policylens"
 )
 
 // meteredDecider wraps the local decider with registry counters so the
@@ -61,16 +62,19 @@ import (
 type meteredDecider struct {
 	inner     *swaprt.LocalDecider
 	hub       *swaprt.TelemetryHub // nil-safe
+	lens      *policylens.Lens     // nil-safe
 	decisions *obs.Counter
 	swaps     *obs.Counter
 	reports   *obs.Counter
 	decideNS  *obs.Counter
 }
 
-func newMeteredDecider(inner *swaprt.LocalDecider, hub *swaprt.TelemetryHub, reg *obs.Registry) *meteredDecider {
+func newMeteredDecider(inner *swaprt.LocalDecider, hub *swaprt.TelemetryHub,
+	lens *policylens.Lens, reg *obs.Registry) *meteredDecider {
 	return &meteredDecider{
 		inner:     inner,
 		hub:       hub,
+		lens:      lens,
 		decisions: reg.Counter("swapmgr.decisions"),
 		swaps:     reg.Counter("swapmgr.swaps"),
 		reports:   reg.Counter("swapmgr.reports"),
@@ -89,8 +93,39 @@ func (d *meteredDecider) Decide(req swaprt.DecideRequest) (swaprt.DecideResponse
 		d.swaps.Add(uint64(len(resp.Swaps)))
 		d.hub.ObserveDecision(req.Now, resp.Eval, len(resp.Swaps), dur.Seconds())
 		d.hub.ObserveEpoch(req.Epoch, req.ActiveSet)
+		if d.lens.Enabled() {
+			in := core.DecideInput{IterTime: req.IterTime, SwapTime: req.SwapTime}
+			for i, r := range req.ActiveSet {
+				in.Active = append(in.Active, core.Candidate{ID: r, Rate: req.ActiveRates[i]})
+			}
+			for i, r := range req.SpareSet {
+				in.Spare = append(in.Spare, core.Candidate{ID: r, Rate: req.SpareRates[i]})
+			}
+			d.lens.ObserveIteration(req.Now, req.IterTime)
+			d.lens.ObserveDecision(policylens.Decision{
+				T: req.Now, Epoch: req.Epoch, Input: in, Eval: resp.Eval,
+				Swaps: len(resp.Swaps),
+			})
+		}
 	}
 	return resp, err
+}
+
+// ReportOutcome implements swaprt.OutcomeReporter: the leader's
+// two-phase verdict activates (commit) or drops (abort) the lens's
+// armed payback prediction. ServeManager forwards outcome messages here;
+// in durable mode the DurableDecider forwards after its WAL writes.
+func (d *meteredDecider) ReportOutcome(o swaprt.OutcomeMsg) error {
+	committed, aborted := 0, 0
+	if o.Committed {
+		committed = 1
+	} else {
+		aborted = 1
+	}
+	// The manager has no leader clock; the lens falls back to the last
+	// observed decision time for report timestamps.
+	d.lens.ObserveOutcome(0, o.Epoch, committed, aborted)
+	return nil
 }
 
 // Report implements swaprt.Reporter.
@@ -111,6 +146,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "opt-in HTTP debug endpoint serving expvar and pprof (e.g. 127.0.0.1:7071)")
 		storeDir  = flag.String("store", "", "durable manager store directory: WAL-backed decisions, leader lease, crash recovery")
 		leaseTTL  = flag.Duration("lease-ttl", 2*time.Second, "leader lease duration when -store is set; standbys take over after it expires")
+		lensOn    = flag.Bool("lens", false, "arm the policy lens on the debug endpoint: payback audit + shadow-policy scoreboard at /policy (needs -debug-addr)")
 	)
 	flag.Parse()
 
@@ -129,13 +165,20 @@ func main() {
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		hub := swaprt.NewTelemetryHub(nil)
-		decider = newMeteredDecider(swaprt.NewLocalDecider(pol), hub, reg)
+		var lens *policylens.Lens
+		if *lensOn {
+			lens = policylens.New(policylens.Config{Registry: reg})
+			hub.SetLensProbe(lens.Report)
+			log.Printf("swapmgr: policy lens armed (shadow greedy/safe/friendly)")
+		}
+		decider = newMeteredDecider(swaprt.NewLocalDecider(pol), hub, lens, reg)
 		expvar.Publish("swapmgr", expvar.Func(reg.ExpvarFunc()))
 		// DefaultServeMux carries expvar's /debug/vars and pprof's
 		// /debug/pprof/* handlers via their package init side effects; the
 		// observability endpoints join them.
 		http.Handle("/metrics", obs.PromHandler(reg))
 		http.Handle("/telemetry", swaprt.TelemetryHandler(hub))
+		http.Handle("/policy", policylens.Handler(lens))
 		http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
@@ -149,7 +192,7 @@ func main() {
 				log.Printf("swapmgr: debug endpoint: %v", err)
 			}
 		}()
-		log.Printf("swapmgr: debug endpoint on http://%s (/debug/vars /metrics /telemetry /healthz)", dln.Addr())
+		log.Printf("swapmgr: debug endpoint on http://%s (/debug/vars /metrics /telemetry /policy /healthz)", dln.Addr())
 	}
 
 	logf := log.Printf

@@ -8,7 +8,10 @@
 // machine-checkable form: it polls until the report shows at least
 // -min-swaps committed swaps and -min-anomalies detected slowdowns (or
 // -timeout expires), prints the final report, and exits 0 on success,
-// 1 otherwise — CI's mon-smoke gate.
+// 1 otherwise — CI's mon-smoke gate. When the run armed the policy
+// lens, -min-shadow requires that many shadow-policy decisions and
+// -max-mispredict bounds the realized-payback mispredict fraction
+// (negative disables) — CI's lens-smoke gate.
 //
 // Examples:
 //
@@ -32,17 +35,19 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7081", "debug endpoint host:port (or a full /telemetry URL)")
 		interval = flag.Duration("interval", time.Second, "poll interval")
 		once     = flag.Bool("once", false, "poll until the check passes or -timeout, print one report, exit 0/1")
-		minSwaps = flag.Int("min-swaps", 0, "with -once: require at least this many committed swaps")
-		minAnoms = flag.Int("min-anomalies", 0, "with -once: require at least this many detected anomalies")
-		timeout  = flag.Duration("timeout", 30*time.Second, "with -once: give up after this long")
-		clear    = flag.Bool("clear", true, "clear the terminal between interactive redraws")
+		minSwaps   = flag.Int("min-swaps", 0, "with -once: require at least this many committed swaps")
+		minAnoms   = flag.Int("min-anomalies", 0, "with -once: require at least this many detected anomalies")
+		minShadow  = flag.Int("min-shadow", 0, "with -once: require at least this many shadow-policy decisions from the policy lens")
+		maxMispred = flag.Float64("max-mispredict", -1, "with -once: require the lens mispredict fraction to be at most this (negative = no gate)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "with -once: give up after this long")
+		clear      = flag.Bool("clear", true, "clear the terminal between interactive redraws")
 	)
 	flag.Parse()
 
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	if *once {
-		runOnce(client, *addr, *interval, *timeout, *minSwaps, *minAnoms)
+		runOnce(client, *addr, *interval, *timeout, *minSwaps, *minAnoms, *minShadow, *maxMispred)
 		return
 	}
 
@@ -62,7 +67,8 @@ func main() {
 
 // runOnce polls until the acceptance check passes or the deadline
 // expires, prints the final report either way, and exits 0/1.
-func runOnce(client *http.Client, addr string, interval, timeout time.Duration, minSwaps, minAnoms int) {
+func runOnce(client *http.Client, addr string, interval, timeout time.Duration,
+	minSwaps, minAnoms, minShadow int, maxMispredict float64) {
 	if interval <= 0 {
 		interval = 250 * time.Millisecond
 	}
@@ -71,7 +77,11 @@ func runOnce(client *http.Client, addr string, interval, timeout time.Duration, 
 	for {
 		rep, err := monclient.Fetch(client, addr)
 		if err == nil {
-			if lastErr = monclient.Check(rep, minSwaps, minAnoms); lastErr == nil {
+			lastErr = monclient.Check(rep, minSwaps, minAnoms)
+			if lastErr == nil {
+				lastErr = monclient.CheckLens(rep, minShadow, maxMispredict)
+			}
+			if lastErr == nil {
 				monclient.Render(os.Stdout, rep)
 				return
 			}

@@ -77,6 +77,31 @@ func Check(rep swaprt.TelemetryReport, minSwaps, minAnomalies int) error {
 	return nil
 }
 
+// CheckLens verifies the policy-lens acceptance conditions for -once:
+// at least minShadow shadow-policy decisions replayed, and (when
+// maxMispredict >= 0) a mispredict fraction no worse than it. It
+// returns nil when the gates hold; a report without a lens section
+// fails only when a gate was actually requested.
+func CheckLens(rep swaprt.TelemetryReport, minShadow int, maxMispredict float64) error {
+	if minShadow <= 0 && maxMispredict < 0 {
+		return nil
+	}
+	l := rep.Lens
+	if l == nil || !l.Enabled {
+		return fmt.Errorf("monclient: lens gates requested but the runtime has no policy lens armed")
+	}
+	if n := l.ShadowDecisions(); n < minShadow {
+		return fmt.Errorf("monclient: %d shadow decisions, want >= %d", n, minShadow)
+	}
+	if maxMispredict >= 0 {
+		if f := l.MispredictFraction(); f > maxMispredict {
+			return fmt.Errorf("monclient: mispredict fraction %.3g (%d/%d realized), want <= %.3g",
+				f, l.Mispredicts, l.Realized, maxMispredict)
+		}
+	}
+	return nil
+}
+
 // quant renders a Quantiles as a compact fixed-order cell.
 func quant(q series.Quantiles, unit string) string {
 	if q.N == 0 {
@@ -159,5 +184,31 @@ func Render(w io.Writer, rep swaprt.TelemetryReport) {
 			last += fmt.Sprintf(" payback=%.4g", d.LastPayback)
 		}
 		fmt.Fprintf(w, "  last: %s\n", last)
+	}
+
+	// Lens panel: the payback audit and shadow scoreboard, present only
+	// when the runtime armed -lens (omitempty pointer, like causal and
+	// flight above).
+	if l := rep.Lens; l != nil && l.Enabled {
+		fmt.Fprintf(w, "lens: decisions=%d commits=%d aborts=%d tracking=%d realized=%d mispredicts=%d anomalies=%d (tol %.3g)\n",
+			l.Decisions, l.Commits, l.Aborts, l.Tracking, l.Realized,
+			l.Mispredicts, l.Anomalies, l.Tolerance)
+		fmt.Fprintf(w, "  pred err: %s\n", quant(l.ErrSeries, ""))
+		if last := l.Last; last != nil {
+			verdict := "ok"
+			switch {
+			case last.NeverPaysOff:
+				verdict = "never pays back"
+			case !last.OK:
+				verdict = "mispredict"
+			}
+			fmt.Fprintf(w, "  last realized: epoch=%d pred=%.4g realized=%.4g err=%.3g (%s)\n",
+				last.Epoch, last.PredPayback, last.RealPayback, last.Err, verdict)
+		}
+		for _, s := range l.Shadow {
+			fmt.Fprintf(w, "  shadow %-9s %d decisions agree=%d would-swap=%d would-stay=%d iters won=%.3g lost=%.3g\n",
+				s.Policy+":", s.Decisions, s.Agreements, s.WouldSwap, s.WouldStay,
+				s.ItersWon, s.ItersLost)
+		}
 	}
 }

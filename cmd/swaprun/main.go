@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/obsflag"
 	"repro/internal/swaprt"
+	"repro/internal/swaprt/policylens"
 )
 
 // injection is one scheduled load event: after Delay, the host of Rank
@@ -208,6 +209,18 @@ func main() {
 		})
 	}
 
+	var lens *policylens.Lens
+	if traceFlags.Lens {
+		lens = policylens.New(policylens.Config{
+			Tolerance: traceFlags.LensTolerance,
+			Tracer:    tracer,
+			Registry:  world.Metrics(),
+			Clock:     secs,
+		})
+		log.Printf("lens: policy audit armed (shadow greedy/safe/friendly)")
+		hub.SetLensProbe(lens.Report)
+	}
+
 	cfg := swaprt.Config{
 		Active:          *active,
 		Policy:          pol,
@@ -219,6 +232,7 @@ func main() {
 		TransferTimeout: *transfer,
 		Tracer:          tracer,
 		Telemetry:       hub,
+		Lens:            lens,
 	}
 	// A fault plan with mgrkill/mgrrestart rules needs a manager that can
 	// actually die and recover; give it a durable store home if the user
@@ -320,6 +334,7 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.PromHandler(world.Metrics()))
 		mux.Handle("/telemetry", swaprt.TelemetryHandler(hub))
+		mux.Handle("/policy", policylens.Handler(lens))
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
@@ -328,7 +343,7 @@ func main() {
 				log.Printf("debug endpoint: %v", err)
 			}
 		}()
-		log.Printf("debug endpoint on http://%s (/metrics /telemetry /healthz)", dln.Addr())
+		log.Printf("debug endpoint on http://%s (/metrics /telemetry /policy /healthz)", dln.Addr())
 	}
 
 	start := time.Now()

@@ -23,6 +23,14 @@
 // windows from the telemetry slowdown detector. The same trace always
 // produces a byte-identical report, so reports diff cleanly across runs.
 //
+// With -audit the argument is a JSONL event log: tracecheck replays the
+// policy lens contract offline — every committed swap must carry a
+// realized-payback attribution (unless too close to the trace end to
+// score), every realization must be internally consistent with the
+// tolerance, and the shadow-policy scoreboard is summarized per policy.
+// Mispredictions are reported as findings; contract violations exit
+// non-zero. CI's lens-smoke target runs it against a fresh -lens run.
+//
 // With -postmortem the arguments are per-rank flight-recorder dumps
 // (JSONL files or a directory of them, as written on a swap abort,
 // quarantine, rank panic or world close): tracecheck merges them into a
@@ -49,6 +57,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/swaprt/policylens"
 )
 
 func main() {
@@ -56,6 +65,8 @@ func main() {
 	chaosCheck := flag.Bool("chaos", false, "require fault-injection evidence: a Quarantine event and a Circuit open followed by a close")
 	failoverCheck := flag.Bool("failover", false, "require manager-restart evidence: MgrCrash then a WAL-replay MgrRecover, nondecreasing decision epochs, and a post-recovery decision")
 	analyze := flag.Bool("analyze", false, "treat the argument as a JSONL event log and print the offline analysis report")
+	audit := flag.Bool("audit", false, "treat the argument as a JSONL event log and verify the policy-lens contract: committed swaps carry realized-payback attribution")
+	auditTolerance := flag.Float64("audit-tolerance", 0, "with -audit, relative payback error counted as a misprediction (0 = lens default)")
 	postmortem := flag.Bool("postmortem", false, "treat the arguments as flight-recorder dumps (files or a directory) and reconstruct the causal cross-rank timeline")
 	requireAbort := flag.Bool("require-abort", false, "with -postmortem, require swap-abort or quarantine evidence in the merged timeline")
 	flag.Parse()
@@ -74,6 +85,10 @@ func main() {
 	path := flag.Arg(0)
 	if *analyze {
 		runAnalyze(path)
+		return
+	}
+	if *audit {
+		runAudit(path, *auditTolerance)
 		return
 	}
 	f, err := os.Open(path)
@@ -243,6 +258,28 @@ func runAnalyze(path string) {
 	}
 	if err := obs.Analyze(events).WriteReport(os.Stdout); err != nil {
 		fatal(err)
+	}
+}
+
+// runAudit reads a JSONL event log, replays the policy-lens contract
+// and prints the deterministic audit report, exiting non-zero when the
+// trace violates it.
+func runAudit(path string, tolerance float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		fatal(err)
+	}
+	res := policylens.Audit(events, policylens.AuditConfig{Tolerance: tolerance})
+	if err := res.WriteReport(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if !res.OK() {
+		os.Exit(1)
 	}
 }
 

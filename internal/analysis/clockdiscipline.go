@@ -29,6 +29,10 @@ var clockPkgs = map[string]bool{
 	// it must run on the injected clock so a fake clock can pin takeover
 	// to the nanosecond and accelerated chaos runs compress the TTL.
 	"repro/internal/swaprt/mgrstore": true,
+	// The lens times realized paybacks against decision timestamps: a
+	// wall-clock read there would skew prediction-error math under
+	// -accel and break byte-identical audits on the simulated timeline.
+	"repro/internal/swaprt/policylens": true,
 }
 
 // bannedTimeFuncs are the package time entry points that read or wait on

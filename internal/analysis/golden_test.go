@@ -147,9 +147,15 @@ func TestAnalyzerScoping(t *testing.T) {
 		// caller-supplied writers; the swapmon main package is the UI.
 		{analysis.ObsDiscipline, "repro/cmd/swapmon/monclient", true},
 		{analysis.ObsDiscipline, "repro/cmd/swapmon", false},
+		// The policy lens emits typed events from the decide hot path;
+		// direct prints there would corrupt every embedding command.
+		{analysis.ObsDiscipline, "repro/internal/swaprt/policylens", true},
 		{analysis.ObsDiscipline, "repro/internal/obs", false},
 		{analysis.ObsDiscipline, "repro/cmd/swaprun", false},
 		{analysis.ClockDiscipline, "repro/internal/swaprt", true},
+		// Lens payback timing must ride the injected clock or audits
+		// diverge between wall-time and accelerated/simulated runs.
+		{analysis.ClockDiscipline, "repro/internal/swaprt/policylens", true},
 		{analysis.ClockDiscipline, "repro/internal/mpi", true},
 		{analysis.ClockDiscipline, "repro/internal/mpi/fault", true},
 		{analysis.ClockDiscipline, "repro/internal/obs", true},

@@ -27,6 +27,10 @@ var obsPkgs = map[string]bool{
 	// supervisor: it sits on the decision path (fsync before every ack),
 	// where a stray print would corrupt the embedding command's stdout.
 	"repro/internal/swaprt/mgrstore": true,
+	// The policy lens hangs off the manager's decide hot path and the
+	// leader's swap-point bookkeeping: its findings go out as typed obs
+	// events and registry metrics, never direct prints.
+	"repro/internal/swaprt/policylens": true,
 }
 
 // obsApplies also sweeps in swapmon's non-UI subpackages (monclient

@@ -263,6 +263,18 @@ type RelocateInput struct {
 // DecideRelocation reports whether the policy allows the relocation, and
 // the application-level payback distance of doing it.
 func (p Policy) DecideRelocation(in RelocateInput) (ok bool, payback float64) {
+	ok, payback, _ = p.DecideRelocationExplained(in)
+	return ok, payback
+}
+
+// DecideRelocationExplained is DecideRelocation plus an Explanation of
+// the verdict, bringing relocation decisions to parity with
+// DecideExplained so the audit trail sees why a checkpoint/restart move
+// was (or was not) taken. The returned payback keeps the historical
+// +Inf convention for impossible relocations; the Explanation stores
+// only finite numbers (Payback stays zero when the distance is
+// infinite) so it remains JSON-encodable.
+func (p Policy) DecideRelocationExplained(in RelocateInput) (ok bool, payback float64, exp Explanation) {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
@@ -270,8 +282,14 @@ func (p Policy) DecideRelocation(in RelocateInput) (ok bool, payback float64) {
 		panic(fmt.Sprintf("core: DecideRelocation with %d old vs %d new rates",
 			len(in.OldRates), len(in.NewRates)))
 	}
-	if len(in.OldRates) == 0 || in.IterTime <= 0 {
-		return false, math.Inf(1)
+	exp = Explanation{IterTime: in.IterTime, SwapTime: in.Overhead, Verdict: "stay"}
+	if len(in.OldRates) == 0 {
+		exp.Reason = "no processes to relocate"
+		return false, math.Inf(1), exp
+	}
+	if in.IterTime <= 0 {
+		exp.Reason = fmt.Sprintf("iteration time %.4g not positive", in.IterTime)
+		return false, math.Inf(1), exp
 	}
 	appPerf := in.AppPerf
 	if appPerf == nil {
@@ -279,8 +297,13 @@ func (p Policy) DecideRelocation(in RelocateInput) (ok bool, payback float64) {
 	}
 	oldPerf := appPerf(in.OldRates)
 	newPerf := appPerf(in.NewRates)
+	exp.Considered = 1
+	exp.OldPerf = oldPerf
+	exp.NewPerf = newPerf
 	if newPerf <= oldPerf || oldPerf <= 0 {
-		return false, math.Inf(1)
+		exp.Reason = fmt.Sprintf("new set performance %.4g not above old %.4g",
+			newPerf, oldPerf)
+		return false, math.Inf(1), exp
 	}
 	// Per-process gate: pair slowest-old with fastest-new; every changed
 	// pair must clear the process threshold, mirroring Decide.
@@ -292,8 +315,11 @@ func (p Policy) DecideRelocation(in RelocateInput) (ok bool, payback float64) {
 		if neu[i] <= old[i] {
 			break // unchanged or not improved beyond this pairing
 		}
-		if neu[i]/old[i]-1 <= p.MinProcImprovement {
-			return false, math.Inf(1)
+		exp.ProcGain = neu[i]/old[i] - 1
+		if exp.ProcGain <= p.MinProcImprovement {
+			exp.Reason = fmt.Sprintf("process gain %.3g <= minimum %.3g",
+				exp.ProcGain, p.MinProcImprovement)
+			return false, math.Inf(1), exp
 		}
 		// Only the first changed pair must clear the threshold for a
 		// relocation to be worthwhile at all; further pairs may be
@@ -301,15 +327,26 @@ func (p Policy) DecideRelocation(in RelocateInput) (ok bool, payback float64) {
 		break
 	}
 	payback = PaybackDistance(in.Overhead, in.IterTime, oldPerf, newPerf)
+	if !math.IsInf(payback, 0) {
+		exp.Payback = payback
+	}
+	exp.AppGain = newPerf/oldPerf - 1
 	if in.Overhead > 0 && !Beneficial(payback) {
-		return false, payback
+		exp.Reason = fmt.Sprintf("payback %.3g iterations is not beneficial", payback)
+		return false, payback, exp
 	}
 	if payback > p.PaybackThreshold {
-		return false, payback
+		exp.Reason = fmt.Sprintf("payback %.3g iterations > threshold %.3g",
+			payback, p.PaybackThreshold)
+		return false, payback, exp
 	}
-	appGain := newPerf/oldPerf - 1
-	if p.MinAppImprovement > 0 && appGain <= p.MinAppImprovement {
-		return false, payback
+	if p.MinAppImprovement > 0 && exp.AppGain <= p.MinAppImprovement {
+		exp.Reason = fmt.Sprintf("application gain %.3g <= minimum %.3g",
+			exp.AppGain, p.MinAppImprovement)
+		return false, payback, exp
 	}
-	return true, payback
+	exp.Verdict = "relocate"
+	exp.Reason = fmt.Sprintf("payback %.3g iterations within threshold %.3g",
+		payback, p.PaybackThreshold)
+	return true, payback, exp
 }

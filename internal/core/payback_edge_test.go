@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaybackEdgeTable pins the contract of PaybackDistance and
+// Beneficial together on the algebra's edges: the domain panics, the
+// +Inf never-pays-off case, negative distances for regressions, and the
+// zero-cost boundary. The policy lens and the offline audit both lean
+// on exactly these conventions (a realized payback of "never" and a
+// JSON-unsafe +Inf are different encodings of the same edge), so the
+// table is the single place the conventions are spelled out.
+func TestPaybackEdgeTable(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name                   string
+		swap, iter, oldP, newP float64
+		wantPanic              bool
+		want                   float64
+		beneficial             bool
+	}{
+		{name: "paper doubling", swap: 10, iter: 10, oldP: 1, newP: 2, want: 2, beneficial: true},
+		{name: "quadrupling sublinear", swap: 10, iter: 10, oldP: 1, newP: 4, want: 4.0 / 3.0, beneficial: true},
+		{name: "equal perf never pays off", swap: 10, iter: 10, oldP: 3, newP: 3, want: inf, beneficial: false},
+		{name: "slower target is negative", swap: 10, iter: 10, oldP: 2, newP: 1, want: -1, beneficial: false},
+		{name: "free swap breaks even immediately", swap: 0, iter: 10, oldP: 1, newP: 2, want: 0, beneficial: false},
+		{name: "negative swap time panics", swap: -1, iter: 10, oldP: 1, newP: 2, wantPanic: true},
+		{name: "zero old iteration time panics", swap: 10, iter: 0, oldP: 1, newP: 2, wantPanic: true},
+		{name: "negative old iteration time panics", swap: 10, iter: -5, oldP: 1, newP: 2, wantPanic: true},
+		{name: "zero old perf panics", swap: 10, iter: 10, oldP: 0, newP: 2, wantPanic: true},
+		{name: "zero new perf panics", swap: 10, iter: 10, oldP: 1, newP: 0, wantPanic: true},
+		{name: "negative perf panics", swap: 10, iter: 10, oldP: -1, newP: -2, wantPanic: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.wantPanic {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("PaybackDistance(%g, %g, %g, %g) did not panic",
+							c.swap, c.iter, c.oldP, c.newP)
+					}
+				}()
+				PaybackDistance(c.swap, c.iter, c.oldP, c.newP)
+				return
+			}
+			got := PaybackDistance(c.swap, c.iter, c.oldP, c.newP)
+			if math.IsInf(c.want, 1) {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("payback = %g, want +Inf", got)
+				}
+			} else if math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("payback = %g, want %g", got, c.want)
+			}
+			if b := Beneficial(got); b != c.beneficial {
+				t.Fatalf("Beneficial(%g) = %v, want %v", got, b, c.beneficial)
+			}
+		})
+	}
+}

@@ -196,7 +196,10 @@ func CheckCausality(evs []Event) CausalCheck {
 				lastLCT[ev.Rank] = ev.T
 			}
 		}
-		if ev.Epoch != 0 {
+		// KindPaybackRealized is a retrospective attribution: it scores a
+		// swap committed several epochs ago, so its (older) epoch stamp is
+		// expected and not a regression.
+		if ev.Epoch != 0 && ev.Kind != KindPaybackRealized {
 			if prev, ok := lastEpoch[ev.Rank]; ok && ev.Epoch < prev {
 				addViolation("rank %d: epoch moved backwards: %d after %d at t=%.6g",
 					ev.Rank, ev.Epoch, prev, ev.T)

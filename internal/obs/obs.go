@@ -91,6 +91,25 @@ const (
 	// unchanged.
 	KindMgrCrash
 	KindMgrRecover
+	// KindPaybackRealized closes the loop on one committed swap: the
+	// policy lens watched the post-swap iterations and compares the
+	// realized payback against the decision's prediction. Payback = the
+	// realized payback distance (0 when the swap never pays back), Value
+	// = the predicted payback it is judged against, IterTime = the mean
+	// post-swap iteration time, OldPerf/NewPerf/SwapTime echo the
+	// prediction's inputs, Z = the relative prediction error (capped),
+	// Verdict = "ok", "mispredict" or "never", Epoch = the committed
+	// epoch the swap established.
+	KindPaybackRealized
+	// KindShadowDecision is one counterfactual policy replayed over the
+	// same DecideInput the primary decision saw. Detail = the shadow
+	// policy's name, Verdict/Reason/OldPerf/NewPerf/Payback = the
+	// shadow's own explanation, Swaps = the directives it would have
+	// ordered, Value = the estimated iterations won (positive) or lost
+	// (negative) had the shadow's verdict been taken instead. Appended
+	// after the earlier kinds so the numeric JSONL encoding of existing
+	// traces is unchanged.
+	KindShadowDecision
 )
 
 var kindNames = [...]string{
@@ -114,6 +133,9 @@ var kindNames = [...]string{
 	KindMsgRecv:       "MsgRecv",
 	KindMgrCrash:      "MgrCrash",
 	KindMgrRecover:    "MgrRecover",
+
+	KindPaybackRealized: "PaybackRealized",
+	KindShadowDecision:  "ShadowDecision",
 }
 
 // String implements fmt.Stringer.

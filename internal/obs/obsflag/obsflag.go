@@ -33,6 +33,9 @@ type Flags struct {
 	FlightDir    string // flight-recorder dump directory ("" = recorder off)
 	FlightEvents int    // per-rank flight ring capacity (0 = flight.DefaultEvents)
 
+	Lens          bool    // arm the policy lens (payback audit + shadow policies)
+	LensTolerance float64 // relative payback error counted as a misprediction
+
 	// Recorder is the flight recorder Tracer attached, nil when
 	// -flight-dir was not given. Commands use it for telemetry probes
 	// and a final explicit dump.
@@ -52,6 +55,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Causal, "causal", false, "stamp messages with Lamport clocks and trace MsgSend/MsgRecv happens-before edges")
 	fs.StringVar(&f.FlightDir, "flight-dir", "", "enable the crash-safe flight recorder, dumping per-rank JSONL windows to this directory on aborts/panics/close")
 	fs.IntVar(&f.FlightEvents, "flight-events", 0, "flight-recorder ring capacity per rank (0 = default)")
+	fs.BoolVar(&f.Lens, "lens", false, "arm the policy lens: audit realized payback of committed swaps, replay shadow policies, /policy on -debug-addr")
+	fs.Float64Var(&f.LensTolerance, "lens-tolerance", 0, "relative payback prediction error counted as a misprediction (0 = lens default)")
 	return f
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/rng"
 	"repro/internal/simkern"
+	"repro/internal/swaprt/policylens"
 )
 
 // Scenario configures one simulated application run.
@@ -95,6 +96,10 @@ type Result struct {
 	Iters       []IterRecord
 	Events      []Event
 	FinalHosts  []int
+	// Lens is the policy lens report for techniques that audit their
+	// decisions (Swap); nil otherwise. Sweeps read prediction accuracy
+	// and the shadow scoreboard from here.
+	Lens *policylens.Report
 }
 
 // MeanIterTime reports the average iteration duration (excluding
@@ -144,6 +149,13 @@ type driver struct {
 	chunks    []float64 // flops per rank for the coming iteration
 	selStream *rng.Stream
 	res       Result
+
+	// lens audits swap decisions on the virtual clock, mirroring the
+	// live runtime's policy lens (created at the first swap boundary);
+	// epoch counts committed swap rounds with the live runtime's
+	// convention: a decision at epoch e proposes e+1.
+	lens  *policylens.Lens
+	epoch uint64
 }
 
 // boundaryHook runs at each iteration boundary (application barrier); it
@@ -248,6 +260,10 @@ func run(p *platform.Platform, sc Scenario, name string, chunks chunkFunc, bound
 		}
 		d.res.TotalTime = proc.Now()
 		d.res.FinalHosts = append([]int(nil), d.hosts...)
+		if d.lens != nil {
+			rep := d.lens.Report()
+			d.res.Lens = &rep
+		}
 	})
 	k.Run()
 	if stuck := k.Stuck(); stuck != nil {

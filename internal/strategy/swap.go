@@ -8,6 +8,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/simkern"
+	"repro/internal/swaprt/policylens"
 )
 
 // Swap is MPI process swapping: the application computes on N of the
@@ -46,7 +47,21 @@ func swapBoundary(d *driver, proc *simkern.Proc, iter int, iterTime float64) {
 	pol := d.sc.policy()
 	tr := d.p.Kernel.Tracer()
 	swapTime := d.predictedSwapTime()
+	// The sim drives the same policy lens as the live runtime, on the
+	// virtual clock, so simulated and live traces carry byte-identical
+	// lens attribution (ShadowDecision / PaybackRealized events).
+	if d.lens == nil {
+		d.lens = policylens.New(policylens.Config{Tracer: tr})
+	}
+	d.lens.ObserveIteration(now, iterTime)
+	in := core.DecideInput{
+		Active:   active,
+		Spare:    spare,
+		IterTime: iterTime,
+		SwapTime: swapTime,
+	}
 	var swaps []core.SwapPair
+	var eval *core.Explanation
 	if d.selStream != nil {
 		swaps = randomSelect(pol, d.selStream, active, spare, iterTime, swapTime)
 		if tr.Enabled() {
@@ -56,23 +71,22 @@ func swapBoundary(d *driver, proc *simkern.Proc, iter int, iterTime float64) {
 			}
 			tr.Emit(obs.Event{Kind: obs.KindSwapDecision, Rank: obs.RankRuntime, T: now,
 				IterTime: iterTime, SwapTime: swapTime, Swaps: len(swaps),
-				Verdict: verdict, Detail: "random selection"})
+				Verdict: verdict, Detail: "random selection", Epoch: d.epoch})
 		}
 	} else {
 		var exp core.Explanation
-		swaps, exp = pol.DecideExplained(core.DecideInput{
-			Active:   active,
-			Spare:    spare,
-			IterTime: iterTime,
-			SwapTime: swapTime,
-		})
+		swaps, exp = pol.DecideExplained(in)
+		eval = &exp
 		if tr.Enabled() {
 			tr.Emit(obs.Event{Kind: obs.KindSwapDecision, Rank: obs.RankRuntime, T: now,
 				IterTime: iterTime, SwapTime: swapTime, Swaps: len(swaps),
 				OldPerf: exp.OldPerf, NewPerf: exp.NewPerf, Payback: exp.Payback,
-				Verdict: exp.Verdict, Reason: exp.Reason})
+				Verdict: exp.Verdict, Reason: exp.Reason, Epoch: d.epoch})
 		}
 	}
+	d.lens.ObserveDecision(policylens.Decision{
+		T: now, Epoch: d.epoch, Input: in, Eval: eval, Swaps: len(swaps),
+	})
 	if len(swaps) == 0 {
 		return
 	}
@@ -91,11 +105,16 @@ func swapBoundary(d *driver, proc *simkern.Proc, iter int, iterTime float64) {
 	}
 	d.res.Swaps += len(swaps)
 	d.transferAll(proc, len(swaps), d.sc.App.StateBytes)
+	// Sim swaps always land: commit the proposed epoch (live convention:
+	// a decision at epoch e establishes e+1) so later events carrying
+	// the new epoch are the trace's commit evidence for the audit.
+	d.epoch++
+	d.lens.ObserveOutcome(proc.Now(), d.epoch, len(swaps), 0)
 	if tr.Enabled() {
 		for _, s := range swaps {
 			tr.Emit(obs.Event{Kind: obs.KindStateTransfer, Rank: s.Out.ID, T: now,
 				Dur: proc.Now() - now, Peer: s.In.ID,
-				Bytes: int64(d.sc.App.StateBytes), Detail: "out"})
+				Bytes: int64(d.sc.App.StateBytes), Detail: "out", Epoch: d.epoch})
 		}
 	}
 }

@@ -223,6 +223,11 @@ func (d *DurableDecider) ReportOutcome(o OutcomeMsg) error {
 			return err
 		}
 	}
+	// Forward to the wrapped decider so composed observers (e.g. a
+	// metered decider's policy lens) also learn the outcome.
+	if rep, ok := d.inner.(OutcomeReporter); ok {
+		return rep.ReportOutcome(o)
+	}
 	return nil
 }
 

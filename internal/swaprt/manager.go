@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/predict"
+	"repro/internal/swaprt/policylens"
 )
 
 // DecideRequest carries one swap-point measurement set to a decider.
@@ -325,6 +326,29 @@ func (m *manager) decide(epoch uint64, now float64, activeSet []int, activeRates
 		}
 		used[s.Out], used[s.In] = true, true
 	}
+	// Audit: the lens sees the exact input the decider saw (post-filter,
+	// pre-forced-evictions) and its verdict, feeds the iteration sample
+	// to any tracked payback prediction, and replays the shadow panel.
+	if m.cfg.Lens.Enabled() {
+		m.cfg.Lens.ObserveIteration(now, iterTime)
+		m.cfg.Lens.ObserveDecision(policylens.Decision{
+			T: now, Epoch: epoch, Input: lensInput(req), Eval: resp.Eval,
+			Swaps: len(resp.Swaps),
+		})
+	}
 	resp.Swaps = append(forced, resp.Swaps...)
 	return resp, nil
+}
+
+// lensInput rebuilds the core.DecideInput a DecideRequest describes, so
+// the policy lens can replay shadow policies over it.
+func lensInput(req DecideRequest) core.DecideInput {
+	in := core.DecideInput{IterTime: req.IterTime, SwapTime: req.SwapTime}
+	for i, r := range req.ActiveSet {
+		in.Active = append(in.Active, core.Candidate{ID: r, Rate: req.ActiveRates[i]})
+	}
+	for i, r := range req.SpareSet {
+		in.Spare = append(in.Spare, core.Candidate{ID: r, Rate: req.SpareRates[i]})
+	}
+	return in
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/swaprt/policylens"
 )
 
 // Reserved user tags on the world communicator for the two-phase swap
@@ -98,6 +99,14 @@ type Config struct {
 	// swap handlers' periodic reports. Nil (the default) records nothing;
 	// a set but disabled hub costs one atomic load per observation.
 	Telemetry *TelemetryHub
+
+	// Lens, when set, audits the leader's swap decisions online: it
+	// replays shadow policies over every DecideInput and scores each
+	// committed swap's predicted payback against the realized post-swap
+	// iteration times. Nil (the default) records nothing; a set but
+	// disabled lens costs one atomic load per observation. Only the
+	// leader's session feeds it.
+	Lens *policylens.Lens
 }
 
 func (c Config) fill() Config {
@@ -724,6 +733,16 @@ func (s *Session) swapPointActive() error {
 			s.cfg.Logf("rank %d quarantined after failed swap-in (rank %d keeps running)",
 				sw.In, sw.Out)
 		}
+		// Close the audit loop: the lens learns whether the proposed
+		// epoch landed, activating (or dropping) its armed payback
+		// prediction.
+		nCommitted := 0
+		for i := range plan.Swaps {
+			if committed[i] {
+				nCommitted++
+			}
+		}
+		s.cfg.Lens.ObserveOutcome(now, plan.NewEpoch, nCommitted, len(plan.Swaps)-nCommitted)
 		// Close the loop with the decision service: the agreed outcome
 		// (commit or abort, plus the quarantines) becomes durable manager
 		// state. Best-effort — a manager that misses it reconciles from

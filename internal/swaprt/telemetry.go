@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/series"
+	"repro/internal/swaprt/policylens"
 )
 
 // Ring capacities for the hub's windowed series. Iterations and decision
@@ -85,6 +86,7 @@ type TelemetryReport struct {
 	Circuit     string            `json:"circuit,omitempty"` // resilient-decider breaker state
 	Causal      *CausalTelemetry  `json:"causal,omitempty"`
 	Flight      *FlightTelemetry  `json:"flight,omitempty"`
+	Lens        *policylens.Report `json:"lens,omitempty"`
 	Ranks       []RankTelemetry   `json:"ranks"`
 	Decisions   DecisionTelemetry `json:"decisions"`
 }
@@ -124,6 +126,7 @@ type TelemetryHub struct {
 
 	causal func() CausalTelemetry
 	flight func() FlightTelemetry
+	lens   func() policylens.Report
 
 	decCount   int
 	decSwapCnt int
@@ -326,6 +329,18 @@ func (h *TelemetryHub) SetFlightProbe(fn func() FlightTelemetry) {
 	h.mu.Unlock()
 }
 
+// SetLensProbe wires the policy lens report into the telemetry
+// document, so /telemetry consumers (swapmon) see the audit scoreboard
+// without a second fetch.
+func (h *TelemetryHub) SetLensProbe(fn func() policylens.Report) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.lens = fn
+	h.mu.Unlock()
+}
+
 // snapshotLocked renders rank r's current RankTelemetry; callers hold mu.
 func (h *TelemetryHub) snapshotLocked(r int, now float64) RankTelemetry {
 	rs := h.ranks[r]
@@ -412,6 +427,10 @@ func (h *TelemetryHub) Report() TelemetryReport {
 	if h.flight != nil {
 		f := h.flight()
 		rep.Flight = &f
+	}
+	if h.lens != nil {
+		l := h.lens()
+		rep.Lens = &l
 	}
 	seen := map[int]bool{}
 	for r := range h.ranks {
